@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure bench harnesses. Every harness
+ * prints a "paper vs measured" table: absolute equality with the paper's
+ * testbed is not expected (our substrate is a simulator), the *shape* is
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef LASER_BENCH_COMMON_H
+#define LASER_BENCH_COMMON_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/accuracy.h"
+#include "core/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace laser::bench {
+
+/** Print a harness banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n(reproduces %s of LASER, HPCA 2016; "
+                "shapes, not absolute numbers)\n\n",
+                title.c_str(), paper_ref.c_str());
+}
+
+/** "-" for zero counts, matching the paper's table style. */
+inline std::string
+dashIfZero(int v)
+{
+    return v == 0 ? "-" : std::to_string(v);
+}
+
+/** Paper's Figure 10 LASER bars where readable (by workload name). */
+inline const std::map<std::string, double> &
+paperLaserOverheads()
+{
+    static const std::map<std::string, double> m = {
+        {"kmeans", 1.22},         {"x264", 1.15},
+        {"water_nsquared", 1.10}, {"linear_regression", 0.84},
+        {"histogram'", 0.81},     {"lu_ncb", 0.70},
+    };
+    return m;
+}
+
+} // namespace laser::bench
+
+#endif // LASER_BENCH_COMMON_H

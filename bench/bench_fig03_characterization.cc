@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Figure 3 reproduction: HITM record accuracy characterization.
+ *
+ * "Over 160 test cases coded in assembly ... two threads engaged in true
+ * or false sharing, with either write-read/read-write or write-write
+ * sharing. Each thread performs the same operation repeatedly in an
+ * infinite loop, where the loop body varies across tests from a single
+ * memory operation to hundreds of branch, jump, arithmetic and memory
+ * instructions. Event sampling is disabled." (Section 3.1)
+ *
+ * Expected shape (paper): RW tests ~75% correct data addresses, ~40%
+ * exact PCs, ~70% exact+adjacent PCs; WW tests highly inaccurate for
+ * both, ~34% adjacent PCs; >99% of wrong PCs inside the binary; 95% of
+ * wrong data addresses unmapped.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "isa/assembler.h"
+#include "pebs/monitor.h"
+#include "sim/machine.h"
+
+using namespace laser;
+using namespace laser::isa;
+
+namespace {
+
+struct CaseResult
+{
+    double addrCorrect = 0;
+    double pcExact = 0;
+    double pcAdjacent = 0;
+    double wrongPcInBinary = 0;
+    double wrongAddrUnmapped = 0;
+    std::size_t records = 0;
+};
+
+/**
+ * One characterization case: two threads share a line (true sharing:
+ * same word; false sharing: disjoint words). In RW mode thread 0 stores
+ * while thread 1 loads; in WW both store. The loop body carries `filler`
+ * extra instructions (arithmetic and a branch) like the paper's cases.
+ */
+CaseResult
+runCase(bool true_sharing, bool write_write, int filler,
+        std::uint64_t seed)
+{
+    Asm a("chartest");
+    const std::int64_t target = 0x1200000;
+    const std::int64_t other = true_sharing ? target : target + 8;
+    const int iters = 1600;
+
+    Asm::Label done = a.newLabel();
+    Asm::Label t1 = a.newLabel();
+    a.at(10).tid(R1);
+    a.movi(R9, 1);
+    a.bne(R1, R0, t1);
+
+    // Thread 0: always stores.
+    a.at(20).movi(R2, target);
+    a.movi(R3, iters);
+    {
+        Asm::Label loop = a.here();
+        a.at(22).store(R2, 0, R3, 8);
+        for (int f = 0; f < filler; ++f)
+            a.at(23 + f % 5).addi(R4, R4, f + 1);
+        a.subi(R3, R3, 1);
+        a.bne(R3, R0, loop);
+    }
+    a.jmp(done);
+
+    // Thread 1: loads (RW) or stores (WW) the sharing partner address.
+    a.bind(t1);
+    a.bne(R1, R9, done);
+    a.at(40).movi(R2, other);
+    a.movi(R3, iters);
+    {
+        Asm::Label loop = a.here();
+        if (write_write)
+            a.at(42).store(R2, 0, R3, 8);
+        else
+            a.at(42).load(R4, R2, 0, 8);
+        for (int f = 0; f < filler; ++f)
+            a.at(43 + f % 5).addi(R5, R5, f + 1);
+        a.subi(R3, R3, 1);
+        a.bne(R3, R0, loop);
+    }
+    a.bind(done);
+    a.at(60).halt();
+
+    sim::MachineConfig mc;
+    mc.seed = seed;
+    sim::Machine machine(a.finalize(), mc);
+    pebs::PebsConfig pc;
+    pc.sav = 1; // sampling disabled for the characterization
+    pc.keepGroundTruth = true;
+    pc.seed = seed * 2654435761u + 1;
+    pebs::PebsMonitor mon(machine.addressSpace(), machine.program().size(),
+                          mc.timing, pc);
+    machine.setPmuSink(&mon);
+    machine.run();
+    mon.finish();
+
+    CaseResult res;
+    res.records = mon.records().size();
+    if (res.records == 0)
+        return res;
+    std::size_t addr_ok = 0, pc_exact = 0, pc_adj = 0;
+    std::size_t wrong_pc = 0, wrong_pc_in = 0;
+    std::size_t wrong_addr = 0, wrong_addr_unmapped = 0;
+    for (std::size_t i = 0; i < mon.records().size(); ++i) {
+        const auto &r = mon.records()[i];
+        const auto &t = mon.truths()[i];
+        if (r.dataAddr == t.trueAddr) {
+            ++addr_ok;
+        } else {
+            ++wrong_addr;
+            if (machine.addressSpace().classify(r.dataAddr) ==
+                    mem::RegionKind::Unmapped) {
+                ++wrong_addr_unmapped;
+            }
+        }
+        const std::int64_t idx = machine.addressSpace().pcToIndex(r.pc);
+        const std::int64_t tidx =
+            machine.addressSpace().pcToIndex(t.truePc);
+        if (idx == tidx) {
+            ++pc_exact;
+            ++pc_adj;
+        } else {
+            if (idx >= 0 && std::llabs(idx - tidx) <= 1)
+                ++pc_adj;
+            ++wrong_pc;
+            if (idx >= 0)
+                ++wrong_pc_in;
+        }
+    }
+    const double n = double(res.records);
+    res.addrCorrect = addr_ok / n;
+    res.pcExact = pc_exact / n;
+    res.pcAdjacent = pc_adj / n;
+    res.wrongPcInBinary = wrong_pc ? double(wrong_pc_in) / wrong_pc : 1.0;
+    res.wrongAddrUnmapped =
+        wrong_addr ? double(wrong_addr_unmapped) / wrong_addr : 1.0;
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("HITM record accuracy characterization", "Figure 3");
+
+    struct Category
+    {
+        const char *name;
+        bool ts;
+        bool ww;
+        double paperAddr;
+        double paperPcExact;
+        double paperPcAdj;
+    };
+    const Category cats[] = {
+        {"TSRW", true, false, 0.75, 0.40, 0.70},
+        {"FSRW", false, false, 0.75, 0.40, 0.70},
+        {"TSWW", true, true, 0.10, 0.07, 0.34},
+        {"FSWW", false, true, 0.10, 0.07, 0.34},
+    };
+
+    TablePrinter table({"category", "cases", "records",
+                        "addr-ok (paper)", "pc-exact (paper)",
+                        "pc-adj (paper)", "wrongPC in-binary",
+                        "wrongAddr unmapped"});
+
+    int total_cases = 0;
+    for (const Category &cat : cats) {
+        std::vector<double> addr, exact, adj, wpc, wad;
+        std::size_t records = 0;
+        // 40 variants per category: filler 0..hundreds of instructions,
+        // distinct seeds => 160 cases total.
+        for (int v = 0; v < 40; ++v) {
+            const int filler = (v % 8) * (v % 8) * 4; // 0..196
+            CaseResult r =
+                runCase(cat.ts, cat.ww, filler, 1000 + 97 * v);
+            if (r.records == 0)
+                continue;
+            ++total_cases;
+            records += r.records;
+            addr.push_back(r.addrCorrect);
+            exact.push_back(r.pcExact);
+            adj.push_back(r.pcAdjacent);
+            wpc.push_back(r.wrongPcInBinary);
+            wad.push_back(r.wrongAddrUnmapped);
+        }
+        table.addRow({
+            cat.name,
+            std::to_string(addr.size()),
+            fmtCount(records),
+            fmtPercent(mean(addr)) + " (" + fmtPercent(cat.paperAddr) +
+                ")",
+            fmtPercent(mean(exact)) + " (" +
+                fmtPercent(cat.paperPcExact) + ")",
+            fmtPercent(mean(adj)) + " (" + fmtPercent(cat.paperPcAdj) +
+                ")",
+            fmtPercent(mean(wpc)),
+            fmtPercent(mean(wad)),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\ntotal test cases: %d (paper: >160)\n"
+                "Expected shape: RW categories precise (addresses ~75%%, "
+                "adjacent PCs ~70%%), WW categories imprecise; wrong PCs "
+                ">99%% in-binary; wrong addresses ~95%% unmapped.\n",
+                total_cases);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 9 reproduction: effect of the rate threshold on detection
+ * accuracy. One monitored run per workload; the detector is re-run over
+ * the same record stream for each threshold (the paper notes thresholds
+ * can be adjusted offline without rerunning the program).
+ *
+ * Paper shape: false positives fall steeply as the threshold rises
+ * (log-scale x axis); false negatives appear only at high thresholds;
+ * the 1K HITMs/sec default sits in the wide flat valley between them.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "detect/detector.h"
+#include "pebs/monitor.h"
+#include "sim/machine.h"
+
+using namespace laser;
+
+int
+main()
+{
+    bench::banner("Rate-threshold sensitivity", "Figure 9");
+
+    // Collect one monitored record stream per workload.
+    struct Captured
+    {
+        const workloads::WorkloadDef *def;
+        isa::Program program;
+        std::unique_ptr<sim::Machine> machine;
+        std::vector<pebs::PebsRecord> records;
+        std::uint64_t cycles = 0;
+    };
+    std::vector<Captured> captured;
+    sim::TimingModel timing;
+    for (const auto &w : workloads::allWorkloads()) {
+        Captured c;
+        c.def = &w;
+        workloads::BuildOptions opt;
+        opt.heapPerturbation = 48;
+        workloads::WorkloadBuild build = w.build(opt);
+        sim::MachineConfig mc;
+        c.machine = std::make_unique<sim::Machine>(
+            std::move(build.program), mc);
+        build.applyTo(*c.machine);
+        pebs::PebsConfig pc;
+        pc.sav = 19;
+        pebs::PebsMonitor mon(c.machine->addressSpace(),
+                              c.machine->program().size(), timing, pc);
+        c.machine->setPmuSink(&mon);
+        c.cycles = c.machine->run().cycles;
+        mon.finish();
+        c.records = mon.records();
+        captured.push_back(std::move(c));
+    }
+
+    TablePrinter table(
+        {"threshold (HITM/s)", "false negatives", "false positives"});
+    const double thresholds[] = {32,   64,   128,  256,   512,   1000,
+                                 2000, 4000, 8000, 16000, 32000, 64000};
+    for (double thr : thresholds) {
+        int fn = 0, fp = 0;
+        for (Captured &c : captured) {
+            detect::DetectorConfig cfg;
+            cfg.rateThreshold = thr;
+            detect::Detector det(
+                c.machine->program(), c.machine->addressSpace(),
+                c.machine->addressSpace().renderProcMaps(), timing, cfg);
+            det.processAll(c.records);
+            detect::DetectionReport rep = det.finish(c.cycles);
+            core::AccuracyResult acc = core::evaluateAccuracy(
+                c.def->info, core::reportLocations(rep));
+            fn += acc.falseNegatives;
+            fp += acc.falsePositives;
+        }
+        std::string marker = thr == 1000 ? "  <- LASER default" : "";
+        table.addRow({fmtDouble(thr, 0) + marker, std::to_string(fn),
+                      std::to_string(fp)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nShape check (paper Fig. 9): FPs fall as the threshold "
+                "rises (log scale); FNs appear only at the high end; the "
+                "1K default sits in the flat valley.\n");
+    return 0;
+}

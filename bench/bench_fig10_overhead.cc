@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10 reproduction: runtime of LASER and VTune normalized to
+ * native execution, per workload plus the geometric mean.
+ *
+ * Paper shape: LASER geomean 1.02 with kmeans worst (~1.22); VTune
+ * geomean 1.84 with string_match worst (~7x); linear_regression and
+ * histogram' run *faster* than native under LASER (online repair);
+ * lu_ncb runs faster due to the coincidental heap-layout shift.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace laser;
+
+int
+main()
+{
+    bench::banner("Monitoring/repair overhead", "Figure 10");
+
+    core::ExperimentRunner runner;
+    TablePrinter table({"benchmark", "LASER (norm)", "VTune (norm)",
+                        "paper LASER", "notes"});
+    std::vector<double> laser_norm, vtune_norm;
+
+    for (const auto &w : workloads::allWorkloads()) {
+        core::RunResult native = runner.run(w, core::Scheme::Native);
+        core::RunResult laser = runner.run(w, core::Scheme::Laser);
+        core::RunResult vtune = runner.run(w, core::Scheme::VTune);
+
+        const double ln = double(laser.runtimeCycles) /
+                          double(native.runtimeCycles);
+        const double vn = double(vtune.runtimeCycles) /
+                          double(native.runtimeCycles);
+        laser_norm.push_back(ln);
+        vtune_norm.push_back(vn);
+
+        std::string notes;
+        if (laser.repairApplied)
+            notes = "repair applied (f=" +
+                    fmtDouble(laser.repairTriggerFraction, 2) + ")";
+        else if (laser.detection.repairRequested)
+            notes = "repair declined";
+
+        const auto &paper = bench::paperLaserOverheads();
+        auto it = paper.find(w.info.name);
+        table.addRow({
+            w.info.name,
+            fmtTimes(ln, 3),
+            fmtTimes(vn, 2),
+            it != paper.end() ? fmtTimes(it->second, 2) : "",
+            notes,
+        });
+    }
+    table.addSeparator();
+    table.addRow({"geomean", fmtTimes(geomean(laser_norm), 3),
+                  fmtTimes(geomean(vtune_norm), 2), "1.02x / 1.84x",
+                  ""});
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nShape check: LASER's mean overhead is a few percent "
+                "and uniformly low; VTune's interrupt-per-event "
+                "collection costs much more, worst on the load-saturated "
+                "string_match (paper ~7x).\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11 reproduction: speedups from LASERREPAIR (automatic) and from
+ * manual source fixes guided by LASERDETECT's reports.
+ *
+ * Paper values: automatic — histogram' 1.19x, linear_regression 1.16x;
+ * manual — dedup 1.16x, histogram' 5.8x, kmeans 1.05x, linear_regression
+ * 16.9x, lu_ncb 1.36x, reverse_index 1.04x.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace laser;
+
+int
+main()
+{
+    bench::banner("Repair speedups", "Figure 11");
+
+    core::ExperimentRunner runner;
+    TablePrinter table({"benchmark", "mode", "speedup (measured)",
+                        "speedup (paper)"});
+
+    const std::map<std::string, double> paper_auto = {
+        {"histogram'", 1.19},
+        {"linear_regression", 1.16},
+    };
+    const std::map<std::string, double> paper_manual = {
+        {"dedup", 1.16},        {"histogram'", 5.8},
+        {"kmeans", 1.05},       {"linear_regression", 16.9},
+        {"lu_ncb", 1.36},       {"reverse_index", 1.04},
+    };
+
+    for (const auto &[name, paper] : paper_auto) {
+        const auto *w = workloads::findWorkload(name);
+        core::RunResult native = runner.run(*w, core::Scheme::Native);
+        core::RunResult laser = runner.run(*w, core::Scheme::Laser);
+        const double speedup = double(native.runtimeCycles) /
+                               double(laser.runtimeCycles);
+        table.addRow({name,
+                      laser.repairApplied ? "automatic (SSB)"
+                                          : "automatic (no trigger)",
+                      fmtTimes(speedup), fmtTimes(paper)});
+    }
+    table.addSeparator();
+    for (const auto &[name, paper] : paper_manual) {
+        const auto *w = workloads::findWorkload(name);
+        core::RunResult native = runner.run(*w, core::Scheme::Native);
+        core::RunResult fixed = runner.run(*w, core::Scheme::ManualFix);
+        const double speedup = double(native.runtimeCycles) /
+                               double(fixed.runtimeCycles);
+        table.addRow(
+            {name, "manual fix", fmtTimes(speedup), fmtTimes(paper)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nShape check: online repair wins ~15-20%% (Pin + SSB "
+                "software costs bound the gain); the manual fixes of the "
+                "same bugs win up to ~17x (linear_regression) because "
+                "padding removes the contention outright.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 12 reproduction: time spent in the driver and the detector as a
+ * proportion of application CPU time, for benchmarks with >= 10% LASER
+ * overhead.
+ *
+ * Paper shape: both components are tiny (< ~3% combined) even for the
+ * workloads that slow down the most (kmeans 1.22x, x264 1.15x,
+ * water_nsquared 1.10x) — the overhead comes from PEBS assists and PMIs
+ * perturbing the application, not from LASER's own processing.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+
+using namespace laser;
+
+int
+main()
+{
+    bench::banner("Driver/detector time breakdown", "Figure 12");
+
+    core::ExperimentRunner runner;
+    TablePrinter table({"benchmark", "slowdown", "driver %", "detector %",
+                        "records"});
+
+    for (const auto &w : workloads::allWorkloads()) {
+        core::RunResult native = runner.run(w, core::Scheme::Native);
+        core::RunResult laser =
+            runner.run(w, core::Scheme::LaserDetectOnly);
+        const double slowdown = double(laser.runtimeCycles) /
+                                double(native.runtimeCycles);
+        if (slowdown < 1.08)
+            continue;
+
+        const double app_cpu = double(std::accumulate(
+            laser.stats.threadCycles.begin(),
+            laser.stats.threadCycles.end(), std::uint64_t(0)));
+        const double driver_pct =
+            app_cpu > 0 ? double(laser.pebs.driverCycles) / app_cpu : 0;
+        const double detector_pct =
+            app_cpu > 0 ? double(laser.detection.detectorCycles) / app_cpu
+                        : 0;
+        table.addRow({
+            w.info.name,
+            fmtTimes(slowdown),
+            fmtPercent(driver_pct, 2),
+            fmtPercent(detector_pct, 2),
+            fmtCount(laser.detection.totalRecords),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nShape check (paper: kmeans 1.22x, x264 1.15x, "
+                "water_nsquared 1.10x; driver+detector < ~3%% of "
+                "application time): even at high HITM rates, contention "
+                "detection itself is cheap.\n");
+    return 0;
+}

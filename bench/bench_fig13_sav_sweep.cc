@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 13 reproduction: effect of the sample-after value (SAV) on
+ * dedup's normalized runtime, for SAV = 1 and all primes up to 31.
+ *
+ * Paper shape: ~1.5x at SAV=1, falling steeply to ~1.06x by the default
+ * SAV=19, flat afterwards — modest sampling removes nearly all of the
+ * PEBS assist/PMI cost.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace laser;
+
+int
+main()
+{
+    bench::banner("SAV sensitivity on dedup", "Figure 13");
+
+    const auto *dedup = workloads::findWorkload("dedup");
+    // dedup's pipeline timing is interleaving-sensitive; use the paper's
+    // methodology (multiple runs, trimmed mean) across jitter seeds.
+    const std::uint64_t seeds[] = {11, 22, 33, 44, 55, 66, 77};
+
+    TablePrinter table({"SAV", "normalized runtime", "records"});
+    const std::uint32_t savs[] = {1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+                                  31};
+    for (std::uint32_t sav : savs) {
+        std::vector<double> norms;
+        std::uint64_t records = 0;
+        for (std::uint64_t seed : seeds) {
+            core::ExperimentConfig cfg;
+            cfg.sav = sav;
+            cfg.machineSeed = seed;
+            core::ExperimentRunner runner(cfg);
+            core::RunResult native =
+                runner.run(*dedup, core::Scheme::Native);
+            core::RunResult laser =
+                runner.run(*dedup, core::Scheme::LaserDetectOnly);
+            norms.push_back(double(laser.runtimeCycles) /
+                            double(native.runtimeCycles));
+            records = laser.detection.totalRecords;
+        }
+        const double norm = trimmedMean(norms);
+        std::string marker = sav == 19 ? "  <- LASER default" : "";
+        table.addRow({std::to_string(sav) + marker, fmtTimes(norm, 3),
+                      fmtCount(records)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nShape check (paper): ~1.5x at SAV=1 falling to ~1.06x "
+                "by SAV=19 with no marginal benefit beyond.\n");
+    return 0;
+}

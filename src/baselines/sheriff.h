@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sheriff model (Liu & Berger, OOPSLA'11) — the paper's detection and
+ * repair baseline (Sections 5, 7.3).
+ *
+ * Sheriff executes threads as processes: each thread works on private
+ * pages and diffs/commits them at synchronization points. The machine's
+ * threadsAsProcesses mode provides the execution semantics (no
+ * coherence for non-atomic accesses — which is also why Sheriff-Protect
+ * "fixes" false sharing even when Sheriff-Detect reports nothing); this
+ * sink charges the commit costs:
+ *
+ *  - per sync operation: a fixed process-isolation cost plus a per-dirty-
+ *    page twin-diff cost (this is why sync-intensive workloads like
+ *    water_nsquared slow down ~5x, Figure 14);
+ *  - Sheriff-Detect additionally write-protects pages periodically and
+ *    pays fault costs on first writes.
+ *
+ * Compatibility (crashes, unsupported pthreads/OpenMP) and whether
+ * Sheriff-Detect's object-granularity heuristics catch a bug are encoded
+ * from Table 1/2 in the workload metadata; Sheriff's internal detection
+ * heuristics are out of reproduction scope (see DESIGN.md).
+ */
+
+#ifndef LASER_BASELINES_SHERIFF_H
+#define LASER_BASELINES_SHERIFF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/types.h"
+#include "sim/hitm.h"
+
+namespace laser::baselines {
+
+/** Sheriff cost-model tuning. */
+struct SheriffConfig
+{
+    /** Fixed cost per synchronization operation (process handoff). */
+    std::uint64_t syncBaseCost = 2500;
+    /** Twin-page diff + commit cost per dirty page. */
+    std::uint64_t perDirtyPageCost = 4200;
+    /** Extra per-sync cost in Sheriff-Detect (periodic protection). */
+    std::uint64_t detectExtraCost = 2600;
+    /** Detect mode (adds protection costs) vs Protect mode. */
+    bool detectMode = false;
+};
+
+/** Sheriff-Detect output: falsely-shared objects by allocation site. */
+struct SheriffReport
+{
+    /** Allocation sites of objects reported as falsely shared. */
+    std::vector<std::string> reportedSites;
+    std::uint64_t syncOps = 0;
+    std::uint64_t dirtyPagesCommitted = 0;
+};
+
+/** The cost-charging sink. */
+class SheriffModel : public sim::PmuSink
+{
+  public:
+    explicit SheriffModel(SheriffConfig cfg = {}) : cfg_(cfg) {}
+
+    std::uint64_t
+    onSync(int core, isa::SyncKind kind,
+           std::uint64_t dirty_pages) override
+    {
+        (void)core;
+        (void)kind;
+        ++syncOps_;
+        dirtyPages_ += dirty_pages;
+        std::uint64_t cost =
+            cfg_.syncBaseCost + dirty_pages * cfg_.perDirtyPageCost;
+        if (cfg_.detectMode)
+            cost += cfg_.detectExtraCost;
+        return cost;
+    }
+
+    SheriffReport
+    finish() const
+    {
+        SheriffReport r;
+        r.syncOps = syncOps_;
+        r.dirtyPagesCommitted = dirtyPages_;
+        return r;
+    }
+
+  private:
+    SheriffConfig cfg_;
+    std::uint64_t syncOps_ = 0;
+    std::uint64_t dirtyPages_ = 0;
+};
+
+} // namespace laser::baselines
+
+#endif // LASER_BASELINES_SHERIFF_H

@@ -1,0 +1,110 @@
+#include "core/accuracy.h"
+
+#include <cstdlib>
+
+namespace laser::core {
+
+bool
+parseLocation(const std::string &location, std::string *file,
+              std::uint32_t *line)
+{
+    const std::size_t colon = location.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= location.size())
+        return false;
+    *file = location.substr(0, colon);
+    *line = static_cast<std::uint32_t>(
+        std::strtoul(location.c_str() + colon + 1, nullptr, 10));
+    return true;
+}
+
+bool
+locationsMatch(const std::string &reported, const std::string &canonical,
+               std::uint32_t tolerance)
+{
+    std::string rfile, cfile;
+    std::uint32_t rline = 0, cline = 0;
+    if (!parseLocation(reported, &rfile, &rline) ||
+            !parseLocation(canonical, &cfile, &cline)) {
+        return false;
+    }
+    if (rfile != cfile)
+        return false;
+    const std::uint32_t lo = cline > tolerance ? cline - tolerance : 0;
+    return rline >= lo && rline <= cline + tolerance;
+}
+
+AccuracyResult
+evaluateAccuracy(const workloads::WorkloadInfo &info,
+                 const std::vector<std::string> &reported)
+{
+    AccuracyResult result;
+
+    auto matches_bug = [&](const std::string &loc,
+                           const workloads::KnownBug &bug) {
+        if (locationsMatch(loc, bug.location))
+            return true;
+        for (const std::string &rel : bug.relatedLocations) {
+            if (locationsMatch(loc, rel))
+                return true;
+        }
+        return false;
+    };
+
+    for (const workloads::KnownBug &bug : info.bugs) {
+        bool found = false;
+        for (const std::string &loc : reported) {
+            if (matches_bug(loc, bug)) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            ++result.falseNegatives;
+            result.missedBugs.push_back(bug.location);
+        }
+    }
+
+    for (const std::string &loc : reported) {
+        bool matches_any = false;
+        for (const workloads::KnownBug &bug : info.bugs) {
+            if (matches_bug(loc, bug)) {
+                matches_any = true;
+                break;
+            }
+        }
+        if (!matches_any) {
+            ++result.falsePositives;
+            result.fpLocations.push_back(loc);
+        }
+    }
+    return result;
+}
+
+std::vector<std::string>
+reportLocations(const detect::DetectionReport &report)
+{
+    std::vector<std::string> out;
+    out.reserve(report.lines.size());
+    for (const detect::LineReport &lr : report.lines)
+        out.push_back(lr.location);
+    return out;
+}
+
+detect::ContentionType
+reportedTypeForBug(const workloads::WorkloadInfo &info,
+                   const detect::DetectionReport &report)
+{
+    for (const detect::LineReport &lr : report.lines) {
+        for (const workloads::KnownBug &bug : info.bugs) {
+            if (locationsMatch(lr.location, bug.location))
+                return lr.type;
+            for (const std::string &rel : bug.relatedLocations) {
+                if (locationsMatch(lr.location, rel))
+                    return lr.type;
+            }
+        }
+    }
+    return detect::ContentionType::Unknown;
+}
+
+} // namespace laser::core

@@ -1,0 +1,32 @@
+#include "detect/cacheline_model.h"
+
+namespace laser::detect {
+
+SharingOutcome
+CacheLineModel::access(std::uint64_t addr, int size, bool is_write)
+{
+    const std::uint64_t line = addr / kLineBytes;
+    const int offset = static_cast<int>(addr % kLineBytes);
+    const int clipped = std::min(size, kLineBytes - offset);
+    const std::uint64_t mask =
+        (clipped >= 64 ? ~0ULL
+                       : (((std::uint64_t(1) << clipped) - 1) << offset));
+
+    auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        lines_.emplace(line, LastAccess{mask, is_write});
+        return SharingOutcome::None;
+    }
+
+    LastAccess &prev = it->second;
+    SharingOutcome outcome = SharingOutcome::None;
+    if (prev.wasWrite || is_write) {
+        outcome = (prev.byteMask & mask) != 0 ? SharingOutcome::TrueSharing
+                                              : SharingOutcome::FalseSharing;
+    }
+    prev.byteMask = mask;
+    prev.wasWrite = is_write;
+    return outcome;
+}
+
+} // namespace laser::detect

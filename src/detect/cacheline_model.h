@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The LASERDETECT cache-line model (Figure 5).
+ *
+ * Each tracked line remembers the type (read/write) and byte footprint
+ * (bitmap) of its previous access. When a new access arrives, true
+ * sharing is flagged if it overlaps the previous access and at least one
+ * of the two is a write; false sharing if they touch disjoint bytes of
+ * the same line (again with a write involved); read-read pairs are not
+ * contention. Lines live in a hash table so only the small number of
+ * contended lines consume space (Section 4.3).
+ */
+
+#ifndef LASER_DETECT_CACHELINE_MODEL_H
+#define LASER_DETECT_CACHELINE_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace laser::detect {
+
+/** Classification of one modeled access against the line's previous one. */
+enum class SharingOutcome : std::uint8_t {
+    None,         ///< first access to the line, or read-read
+    TrueSharing,  ///< overlapping bytes, at least one write
+    FalseSharing, ///< disjoint bytes of the same line, at least one write
+};
+
+/** Figure 5's per-line last-access model. */
+class CacheLineModel
+{
+  public:
+    static constexpr int kLineBytes = 64;
+
+    /**
+     * Model one access of @p size bytes at @p addr; accesses that would
+     * cross the line boundary are clipped to the line.
+     */
+    SharingOutcome access(std::uint64_t addr, int size, bool is_write);
+
+    /** Number of lines currently tracked. */
+    std::size_t linesTracked() const { return lines_.size(); }
+
+    /** Drop all state (used between detection windows in tests). */
+    void clear() { lines_.clear(); }
+
+  private:
+    struct LastAccess
+    {
+        std::uint64_t byteMask = 0;
+        bool wasWrite = false;
+    };
+
+    std::unordered_map<std::uint64_t, LastAccess> lines_;
+};
+
+} // namespace laser::detect
+
+#endif // LASER_DETECT_CACHELINE_MODEL_H

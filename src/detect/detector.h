@@ -1,0 +1,170 @@
+/**
+ * @file
+ * LASERDETECT: the HITM record-processing pipeline (Section 4, Figure 4).
+ *
+ * Records stream in from the driver; each passes through:
+ *  1. PC filtering against the parsed /proc maps (application/library
+ *     PCs kept, everything else dropped as spurious);
+ *  2. stack-data filtering (thread stacks are not shared);
+ *  3. aggregation by PC and source line (rate threshold applied at
+ *     reporting time; adjustable offline without rerunning);
+ *  4. load/store-set decoding of the record's PC;
+ *  5. the cache-line model, yielding true-/false-sharing events
+ *     attributed to the incoming record's source line;
+ *  6. a periodic rate check that invokes LASERREPAIR when false sharing
+ *     is significant (Section 4.4).
+ *
+ * The pipeline is deliberately robust to the record errors Section 3
+ * characterizes: wrong data addresses never affect source-location
+ * aggregation, and small PC skids usually stay within the same source
+ * line. When data addresses are too noisy to classify (the write-write
+ * pattern of linear_regression at -O3), a line's contention type is
+ * reported as Unknown rather than guessed.
+ */
+
+#ifndef LASER_DETECT_DETECTOR_H
+#define LASER_DETECT_DETECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/cacheline_model.h"
+#include "detect/maps_filter.h"
+#include "isa/decode.h"
+#include "isa/program.h"
+#include "mem/address_space.h"
+#include "pebs/record.h"
+#include "sim/timing.h"
+
+namespace laser::detect {
+
+/** Contention type reported per source line (Table 2). */
+enum class ContentionType : std::uint8_t {
+    Unknown,
+    TrueSharing,
+    FalseSharing,
+};
+
+/** Printable name ("TS", "FS", "unknown"). */
+const char *contentionTypeName(ContentionType type);
+
+/** Detector tuning knobs. */
+struct DetectorConfig
+{
+    /**
+     * Reporting rate threshold in HITM events per (represented) second;
+     * the paper's default is 1K HITMs/sec (Section 7.1).
+     */
+    double rateThreshold = 1000.0;
+    /** Sample-after value used to scale record counts to event counts. */
+    std::uint32_t sav = 19;
+    /** False-sharing event rate that triggers online repair. */
+    double repairFsRateThreshold = 3'500.0;
+    /**
+     * Fallback repair trigger: a raw HITM rate so high that repair is
+     * attempted even when addresses are too noisy to type the contention
+     * (the linear_regression write-write case).
+     */
+    double repairHitmRateThreshold = 16'000.0;
+    /** Cycles between online rate checks. */
+    std::uint64_t rateCheckInterval = 150'000;
+    /** Classification evidence floor: fewer events => Unknown. */
+    std::uint64_t minClassifiedEvents = 8;
+    /** ...and as a fraction of the line's records. */
+    double minClassifiedFraction = 0.02;
+};
+
+/** Per-source-line finding. */
+struct LineReport
+{
+    isa::SourceLoc loc;
+    std::string location; ///< "file:line"
+    bool library = false;
+    std::uint64_t records = 0;
+    /** Estimated HITM events/sec (records * SAV / seconds). */
+    double hitmRate = 0.0;
+    std::uint64_t tsEvents = 0;
+    std::uint64_t fsEvents = 0;
+    ContentionType type = ContentionType::Unknown;
+};
+
+/** Full detection output. */
+struct DetectionReport
+{
+    /** Lines above the rate threshold, sorted by rate, descending. */
+    std::vector<LineReport> lines;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t droppedPcFilter = 0;
+    std::uint64_t droppedStackData = 0;
+    double seconds = 0.0;
+    bool repairRequested = false;
+    std::uint64_t repairTriggerCycle = 0;
+    /** App-code instruction indices implicated in the repair request. */
+    std::vector<std::uint32_t> repairPcs;
+    /** Detector-process CPU cycles (Figure 12). */
+    std::uint64_t detectorCycles = 0;
+
+    /** Find a reported line by exact location string; nullptr if none. */
+    const LineReport *findLine(const std::string &location) const;
+};
+
+/** The streaming detector. */
+class Detector
+{
+  public:
+    Detector(const isa::Program &prog, const mem::AddressSpace &space,
+             std::string maps_text, const sim::TimingModel &timing,
+             DetectorConfig cfg = {});
+
+    /** Push one record through the pipeline. */
+    void processRecord(const pebs::PebsRecord &rec);
+
+    /** Push a whole stream. */
+    void processAll(const std::vector<pebs::PebsRecord> &recs);
+
+    /** Finalize and build the report. @p total_cycles is the run length. */
+    DetectionReport finish(std::uint64_t total_cycles);
+
+    /** True once the online rate check has requested repair. */
+    bool repairRequested() const { return repairRequested_; }
+
+  private:
+    struct PcStats
+    {
+        std::uint64_t records = 0;
+        std::uint64_t ts = 0;
+        std::uint64_t fs = 0;
+    };
+
+    void rateCheck(std::uint64_t now_cycle);
+
+    const isa::Program &prog_;
+    const mem::AddressSpace &space_;
+    MapsFilter maps_;
+    isa::LoadStoreSets sets_;
+    sim::TimingModel timing_;
+    DetectorConfig cfg_;
+
+    std::unordered_map<std::uint32_t, PcStats> pcStats_;
+    CacheLineModel lineModel_;
+
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t droppedPc_ = 0;
+    std::uint64_t droppedStack_ = 0;
+    std::uint64_t fsEvents_ = 0;
+    std::uint64_t tsEvents_ = 0;
+
+    // Online repair-trigger state.
+    std::uint64_t windowStart_ = 0;
+    std::uint64_t windowRecords_ = 0;
+    std::uint64_t windowFs_ = 0;
+    std::uint64_t windowTs_ = 0;
+    bool repairRequested_ = false;
+    std::uint64_t repairTriggerCycle_ = 0;
+};
+
+} // namespace laser::detect
+
+#endif // LASER_DETECT_DETECTOR_H

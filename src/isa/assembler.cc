@@ -1,0 +1,424 @@
+#include "isa/assembler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace laser::isa {
+
+namespace {
+
+/** Abort with a message: assembler misuse is a programming error. */
+[[noreturn]] void
+asmPanic(const std::string &what)
+{
+    std::fprintf(stderr, "assembler error: %s\n", what.c_str());
+    std::abort();
+}
+
+} // namespace
+
+Asm::Asm(std::string program_name, std::string main_file)
+{
+    prog_.name = std::move(program_name);
+    prog_.files.push_back({std::move(main_file), false});
+    fileIds_[prog_.files[0].name] = 0;
+}
+
+Asm &
+Asm::file(const std::string &file_name, bool is_library)
+{
+    auto it = fileIds_.find(file_name);
+    if (it == fileIds_.end()) {
+        const auto id = static_cast<std::uint16_t>(prog_.files.size());
+        prog_.files.push_back({file_name, is_library});
+        fileIds_[file_name] = id;
+        curFile_ = id;
+    } else {
+        curFile_ = it->second;
+    }
+    return *this;
+}
+
+Asm &
+Asm::at(std::uint32_t line)
+{
+    curLine_ = line;
+    return *this;
+}
+
+Asm::Label
+Asm::newLabel()
+{
+    labels_.push_back(-1);
+    return Label{static_cast<std::int32_t>(labels_.size() - 1)};
+}
+
+Asm &
+Asm::bind(Label l)
+{
+    if (l.id < 0 || l.id >= static_cast<std::int32_t>(labels_.size()))
+        asmPanic("bind of invalid label");
+    if (labels_[l.id] != -1)
+        asmPanic("label bound twice");
+    labels_[l.id] = static_cast<std::int32_t>(prog_.code.size());
+    return *this;
+}
+
+Asm::Label
+Asm::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+std::uint32_t
+Asm::emit(Instruction insn)
+{
+    if (finalized_)
+        asmPanic("emit after finalize");
+    insn.file = curFile_;
+    insn.line = curLine_;
+    prog_.code.push_back(insn);
+    return static_cast<std::uint32_t>(prog_.code.size() - 1);
+}
+
+std::uint32_t
+Asm::nop()
+{
+    return emit({.op = Op::Nop});
+}
+
+std::uint32_t
+Asm::halt()
+{
+    return emit({.op = Op::Halt});
+}
+
+std::uint32_t
+Asm::movi(Reg dst, std::int64_t imm)
+{
+    return emit({.op = Op::MovImm, .dst = dst, .imm = imm});
+}
+
+std::uint32_t
+Asm::mov(Reg dst, Reg src)
+{
+    return emit({.op = Op::MovReg, .dst = dst, .src1 = src});
+}
+
+std::uint32_t
+Asm::add(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::Add, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::addi(Reg dst, Reg a, std::int64_t imm)
+{
+    return emit({.op = Op::AddImm, .dst = dst, .src1 = a, .imm = imm});
+}
+
+std::uint32_t
+Asm::sub(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::Sub, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::subi(Reg dst, Reg a, std::int64_t imm)
+{
+    return emit({.op = Op::SubImm, .dst = dst, .src1 = a, .imm = imm});
+}
+
+std::uint32_t
+Asm::mul(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::Mul, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::muli(Reg dst, Reg a, std::int64_t imm)
+{
+    return emit({.op = Op::MulImm, .dst = dst, .src1 = a, .imm = imm});
+}
+
+std::uint32_t
+Asm::andr(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::And, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::orr(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::Or, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::xorr(Reg dst, Reg a, Reg b)
+{
+    return emit({.op = Op::Xor, .dst = dst, .src1 = a, .src2 = b});
+}
+
+std::uint32_t
+Asm::shli(Reg dst, Reg a, std::int64_t imm)
+{
+    return emit({.op = Op::ShlImm, .dst = dst, .src1 = a, .imm = imm});
+}
+
+std::uint32_t
+Asm::shri(Reg dst, Reg a, std::int64_t imm)
+{
+    return emit({.op = Op::ShrImm, .dst = dst, .src1 = a, .imm = imm});
+}
+
+std::uint32_t
+Asm::load(Reg dst, Reg base, std::int64_t off, int size)
+{
+    return emit({.op = Op::Load, .dst = dst, .src1 = base,
+                 .size = static_cast<std::uint8_t>(size), .imm = off});
+}
+
+std::uint32_t
+Asm::store(Reg base, std::int64_t off, Reg src, int size)
+{
+    return emit({.op = Op::Store, .src1 = base, .src2 = src,
+                 .size = static_cast<std::uint8_t>(size), .imm = off});
+}
+
+std::uint32_t
+Asm::addmem(Reg base, std::int64_t off, Reg src, int size)
+{
+    return emit({.op = Op::AddMem, .src1 = base, .src2 = src,
+                 .size = static_cast<std::uint8_t>(size), .imm = off});
+}
+
+std::uint32_t
+Asm::cas(Reg desired_and_old, Reg base, std::int64_t off, Reg expected)
+{
+    return emit({.op = Op::Cas, .dst = desired_and_old, .src1 = base,
+                 .src2 = expected, .size = 8, .imm = off});
+}
+
+std::uint32_t
+Asm::fetchadd(Reg dst_old, Reg base, std::int64_t off, Reg addend)
+{
+    return emit({.op = Op::FetchAdd, .dst = dst_old, .src1 = base,
+                 .src2 = addend, .size = 8, .imm = off});
+}
+
+std::uint32_t
+Asm::fence()
+{
+    return emit({.op = Op::Fence});
+}
+
+std::uint32_t
+Asm::emitBranch(Op op, Reg a, Reg b, Label l)
+{
+    if (l.id < 0 || l.id >= static_cast<std::int32_t>(labels_.size()))
+        asmPanic("branch to invalid label");
+    std::uint32_t idx =
+        emit({.op = op, .src1 = a, .src2 = b, .target = l.id});
+    fixups_.push_back(idx);
+    return idx;
+}
+
+std::uint32_t
+Asm::jmp(Label l)
+{
+    return emitBranch(Op::Jmp, 0, 0, l);
+}
+
+std::uint32_t
+Asm::beq(Reg a, Reg b, Label l)
+{
+    return emitBranch(Op::Beq, a, b, l);
+}
+
+std::uint32_t
+Asm::bne(Reg a, Reg b, Label l)
+{
+    return emitBranch(Op::Bne, a, b, l);
+}
+
+std::uint32_t
+Asm::blt(Reg a, Reg b, Label l)
+{
+    return emitBranch(Op::Blt, a, b, l);
+}
+
+std::uint32_t
+Asm::bge(Reg a, Reg b, Label l)
+{
+    return emitBranch(Op::Bge, a, b, l);
+}
+
+std::uint32_t
+Asm::pause()
+{
+    return emit({.op = Op::Pause});
+}
+
+std::uint32_t
+Asm::tid(Reg dst)
+{
+    return emit({.op = Op::Tid, .dst = dst});
+}
+
+std::uint32_t
+Asm::callLib(LibFn fn)
+{
+    libEntries_.emplace(fn, -1);
+    std::uint32_t idx = emit({.op = Op::Call, .dst = R14, .target = -1});
+    libCalls_.emplace_back(idx, fn);
+    return idx;
+}
+
+Asm &
+Asm::markSync(std::uint32_t index, SyncKind kind)
+{
+    if (index >= prog_.code.size())
+        asmPanic("markSync index out of range");
+    prog_.code[index].sync = kind;
+    return *this;
+}
+
+void
+Asm::emitLibraryBody(LibFn fn)
+{
+    // Calling convention: object address in r12, link in r14,
+    // scratch r10/r11/r13.
+    switch (fn) {
+      case LibFn::SpinLock: {
+        // Naive CAS-in-a-loop lock: every attempt is an RFO on the lock
+        // line, the "poorly performing" pattern from Section 2.
+        at(10);
+        Label retry = here();
+        movi(R13, 1);
+        std::uint32_t c = cas(R13, R12, 0, R0);
+        prog_.code[c].sync = SyncKind::LockAcquire;
+        Label done = newLabel();
+        beq(R13, R0, done);
+        pause();
+        jmp(retry);
+        bind(done);
+        emit({.op = Op::Ret, .src1 = R14});
+        break;
+      }
+      case LibFn::TtsLock: {
+        // Test-and-test-and-set: read-share the lock word while held.
+        at(30);
+        Label retry = here();
+        Label spin = newLabel();
+        Label done = newLabel();
+        load(R13, R12, 0, 8);
+        bne(R13, R0, spin);
+        movi(R13, 1);
+        std::uint32_t c = cas(R13, R12, 0, R0);
+        prog_.code[c].sync = SyncKind::LockAcquire;
+        beq(R13, R0, done);
+        bind(spin);
+        pause();
+        jmp(retry);
+        bind(done);
+        emit({.op = Op::Ret, .src1 = R14});
+        break;
+      }
+      case LibFn::Unlock: {
+        at(50);
+        std::uint32_t s = store(R12, 0, R0, 8);
+        prog_.code[s].sync = SyncKind::LockRelease;
+        emit({.op = Op::Ret, .src1 = R14});
+        break;
+      }
+      case LibFn::BarrierWait: {
+        // Object layout: counter @0, generation @8, nthreads @16.
+        at(70);
+        Label spin = newLabel();
+        Label last = newLabel();
+        Label done = newLabel();
+        load(R11, R12, 8, 8);        // my generation
+        movi(R13, 1);
+        std::uint32_t f = fetchadd(R13, R12, 0, R13);
+        prog_.code[f].sync = SyncKind::BarrierWait;
+        addi(R13, R13, 1);
+        load(R10, R12, 16, 8);       // nthreads
+        beq(R13, R10, last);
+        bind(spin);
+        load(R13, R12, 8, 8);
+        bne(R13, R11, done);
+        pause();
+        jmp(spin);
+        bind(last);
+        store(R12, 0, R0, 8);        // reset counter (before release)
+        addi(R11, R11, 1);
+        store(R12, 8, R11, 8);       // bump generation: releases waiters
+        bind(done);
+        emit({.op = Op::Ret, .src1 = R14});
+        break;
+      }
+    }
+}
+
+void
+Asm::resolveLabel(std::int32_t id, std::int32_t index)
+{
+    labels_[id] = index;
+}
+
+Program
+Asm::finalize()
+{
+    if (finalized_)
+        asmPanic("finalize called twice");
+    finalized_ = false; // allow library emission below
+
+    const auto app_end = static_cast<std::uint32_t>(prog_.code.size());
+    if (app_end == 0)
+        asmPanic("finalize of empty program");
+
+    // Emit requested library routines into a trailing library segment.
+    if (!libEntries_.empty()) {
+        file("libpthread.c", true);
+        for (auto &[fn, entry] : libEntries_) {
+            entry = static_cast<std::int32_t>(prog_.code.size());
+            emitLibraryBody(fn);
+        }
+        for (auto &[site, fn] : libCalls_)
+            prog_.code[site].target = libEntries_[fn];
+    }
+
+    // Patch label references (target currently holds the label id).
+    for (std::uint32_t site : fixups_) {
+        const std::int32_t id = prog_.code[site].target;
+        if (id < 0 || id >= static_cast<std::int32_t>(labels_.size()))
+            asmPanic("dangling label fixup");
+        if (labels_[id] < 0)
+            asmPanic("unbound label used as branch target");
+        prog_.code[site].target = labels_[id];
+    }
+
+    // Build segments.
+    prog_.segments.clear();
+    const auto total = static_cast<std::uint32_t>(prog_.code.size());
+    prog_.segments.push_back({prog_.name, false, 0, app_end});
+    if (total > app_end)
+        prog_.segments.push_back({"libpthread.so", true, app_end, total});
+
+    const std::string err = prog_.validate();
+    if (!err.empty())
+        asmPanic("validate failed: " + err);
+
+    finalized_ = true;
+    return std::move(prog_);
+}
+
+std::uint32_t
+Asm::size() const
+{
+    return static_cast<std::uint32_t>(prog_.code.size());
+}
+
+} // namespace laser::isa

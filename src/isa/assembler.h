@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Assembler DSL used by the workload kernels and test cases.
+ *
+ * The assembler builds a Program instruction-by-instruction with symbolic
+ * labels, a current source file/line cursor (so every instruction carries
+ * the source location LASERDETECT will report), and a one-call runtime
+ * library: callers request synthesized pthread-like routines (spin lock,
+ * test-and-test-and-set lock, sense-reversing barrier) which are emitted
+ * once into a separate "libpthread" segment at finalize() time, mirroring
+ * how real binaries link against shared libraries.
+ */
+
+#ifndef LASER_ISA_ASSEMBLER_H
+#define LASER_ISA_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "isa/types.h"
+
+namespace laser::isa {
+
+/** Synthetic runtime-library routines available to workloads. */
+enum class LibFn : std::uint8_t {
+    SpinLock,      ///< naive CAS-in-a-loop lock (the Section 2 anti-pattern)
+    TtsLock,       ///< test-and-test-and-set lock (read-shared fast path)
+    Unlock,        ///< store-0 release
+    BarrierWait,   ///< centralized sense-reversing barrier
+};
+
+/**
+ * Fluent assembler for the IR.
+ *
+ * Registers r10-r14 are reserved for the runtime library calling
+ * convention (argument in r12, link in r14, scratch r11/r13, result r10);
+ * workload code should avoid them across callLib boundaries.
+ */
+class Asm
+{
+  public:
+    /** Symbolic label handle. */
+    struct Label { std::int32_t id = -1; };
+
+    /**
+     * @param program_name name of the binary (used in /proc maps)
+     * @param main_file    name of the primary application source file
+     */
+    explicit Asm(std::string program_name,
+                 std::string main_file = "main.c");
+
+    // ------------------------------------------------------------------
+    // Source-location cursor
+    // ------------------------------------------------------------------
+
+    /** Switch the cursor to @p file_name (created on first use). */
+    Asm &file(const std::string &file_name, bool is_library = false);
+
+    /** Set the source line for subsequently emitted instructions. */
+    Asm &at(std::uint32_t line);
+
+    // ------------------------------------------------------------------
+    // Labels
+    // ------------------------------------------------------------------
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p l to the next emitted instruction. */
+    Asm &bind(Label l);
+
+    /** Create a label bound to the next emitted instruction. */
+    Label here();
+
+    // ------------------------------------------------------------------
+    // Instruction emission. Each returns the emitted instruction index.
+    // ------------------------------------------------------------------
+
+    std::uint32_t nop();
+    std::uint32_t halt();
+    std::uint32_t movi(Reg dst, std::int64_t imm);
+    std::uint32_t mov(Reg dst, Reg src);
+    std::uint32_t add(Reg dst, Reg a, Reg b);
+    std::uint32_t addi(Reg dst, Reg a, std::int64_t imm);
+    std::uint32_t sub(Reg dst, Reg a, Reg b);
+    std::uint32_t subi(Reg dst, Reg a, std::int64_t imm);
+    std::uint32_t mul(Reg dst, Reg a, Reg b);
+    std::uint32_t muli(Reg dst, Reg a, std::int64_t imm);
+    std::uint32_t andr(Reg dst, Reg a, Reg b);
+    std::uint32_t orr(Reg dst, Reg a, Reg b);
+    std::uint32_t xorr(Reg dst, Reg a, Reg b);
+    std::uint32_t shli(Reg dst, Reg a, std::int64_t imm);
+    std::uint32_t shri(Reg dst, Reg a, std::int64_t imm);
+    std::uint32_t load(Reg dst, Reg base, std::int64_t off, int size = 8);
+    std::uint32_t store(Reg base, std::int64_t off, Reg src, int size = 8);
+    std::uint32_t addmem(Reg base, std::int64_t off, Reg src, int size = 8);
+    std::uint32_t cas(Reg desired_and_old, Reg base, std::int64_t off,
+                      Reg expected);
+    std::uint32_t fetchadd(Reg dst_old, Reg base, std::int64_t off,
+                           Reg addend);
+    std::uint32_t fence();
+    std::uint32_t jmp(Label l);
+    std::uint32_t beq(Reg a, Reg b, Label l);
+    std::uint32_t bne(Reg a, Reg b, Label l);
+    std::uint32_t blt(Reg a, Reg b, Label l);
+    std::uint32_t bge(Reg a, Reg b, Label l);
+    std::uint32_t pause();
+    std::uint32_t tid(Reg dst);
+
+    // ------------------------------------------------------------------
+    // Runtime library
+    // ------------------------------------------------------------------
+
+    /**
+     * Emit a call to a runtime-library routine. The object address (lock
+     * or barrier) must already be in r12. The routine body is emitted into
+     * a library segment at finalize() time.
+     */
+    std::uint32_t callLib(LibFn fn);
+
+    /**
+     * Mark a previously emitted instruction as a synchronization
+     * operation (used by inline, macro-expanded locks).
+     */
+    Asm &markSync(std::uint32_t index, SyncKind kind);
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    /**
+     * Resolve labels, emit requested library routines, build segments and
+     * validate. Aborts on malformed programs (assembler-bug conditions).
+     */
+    Program finalize();
+
+    /** Number of instructions emitted so far (app section). */
+    std::uint32_t size() const;
+
+  private:
+    std::uint32_t emit(Instruction insn);
+    std::uint32_t emitBranch(Op op, Reg a, Reg b, Label l);
+    void emitLibraryBody(LibFn fn);
+    void resolveLabel(std::int32_t id, std::int32_t index);
+
+    Program prog_;
+    std::uint16_t curFile_ = 0;
+    std::uint32_t curLine_ = 1;
+    std::map<std::string, std::uint16_t> fileIds_;
+
+    // Label id -> bound instruction index (-1 while unbound).
+    std::vector<std::int32_t> labels_;
+    // Instruction indices whose target holds a label id to patch.
+    std::vector<std::uint32_t> fixups_;
+
+    // Library routines requested via callLib; entry index filled at
+    // finalize.
+    std::map<LibFn, std::int32_t> libEntries_;
+    // Call sites (instruction index -> LibFn) to patch at finalize.
+    std::vector<std::pair<std::uint32_t, LibFn>> libCalls_;
+    bool finalized_ = false;
+};
+
+} // namespace laser::isa
+
+#endif // LASER_ISA_ASSEMBLER_H

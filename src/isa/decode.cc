@@ -1,0 +1,22 @@
+#include "isa/decode.h"
+
+namespace laser::isa {
+
+LoadStoreSets::LoadStoreSets(const Program &prog)
+{
+    info_.resize(prog.code.size());
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &insn = prog.code[i];
+        MemAccessInfo &mi = info_[i];
+        mi.isLoad = opReadsMemory(insn.op);
+        mi.isStore = opWritesMemory(insn.op);
+        if (mi.isLoad || mi.isStore)
+            mi.size = insn.size;
+        if (mi.isLoad)
+            ++loads_;
+        if (mi.isStore)
+            ++stores_;
+    }
+}
+
+} // namespace laser::isa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Load/store-set extraction ("binary decoding").
+ *
+ * LASERDETECT analyzes the application binary at runtime to construct load
+ * and store sets identifying load PCs, store PCs and their access sizes
+ * (Section 4.3); the cache-line model consumes these to turn a HITM record
+ * (which only has a PC and a data address) into a typed, sized memory
+ * access. x86 instructions that are simultaneously loads and stores appear
+ * in both sets, a documented source of detector inaccuracy.
+ */
+
+#ifndef LASER_ISA_DECODE_H
+#define LASER_ISA_DECODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace laser::isa {
+
+/** Per-PC memory-access facts derived from the binary. */
+struct MemAccessInfo
+{
+    bool isLoad = false;
+    bool isStore = false;
+    std::uint8_t size = 0;
+};
+
+/**
+ * The decoded load/store sets of one program, indexed by instruction
+ * index (PC / kInsnBytes - code base).
+ */
+class LoadStoreSets
+{
+  public:
+    LoadStoreSets() = default;
+
+    /** Decode @p prog into load/store sets. */
+    explicit LoadStoreSets(const Program &prog);
+
+    /** Facts for the given instruction index; zeroes if out of range. */
+    MemAccessInfo
+    lookup(std::uint32_t index) const
+    {
+        if (index >= info_.size())
+            return {};
+        return info_[index];
+    }
+
+    std::size_t size() const { return info_.size(); }
+
+    /** Number of PCs in the load set. */
+    std::size_t loadCount() const { return loads_; }
+
+    /** Number of PCs in the store set. */
+    std::size_t storeCount() const { return stores_; }
+
+  private:
+    std::vector<MemAccessInfo> info_;
+    std::size_t loads_ = 0;
+    std::size_t stores_ = 0;
+};
+
+} // namespace laser::isa
+
+#endif // LASER_ISA_DECODE_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Program container: code, source map and segment (module) table.
+ *
+ * A Program is the reproduction's stand-in for an x86 binary plus its
+ * loaded shared libraries. Segments model the distinct text mappings that
+ * appear in /proc/<pid>/maps, which LASERDETECT's first pipeline stage
+ * parses to classify record PCs as application, library or other code
+ * (Section 4.1 of the paper).
+ */
+
+#ifndef LASER_ISA_PROGRAM_H
+#define LASER_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/types.h"
+
+namespace laser::isa {
+
+/** A synthetic source file contributing lines to the program. */
+struct SourceFile
+{
+    std::string name;
+    /** True for runtime-library files (libpthread-like helpers). */
+    bool isLibrary = false;
+};
+
+/**
+ * A contiguous range of instructions belonging to one "module" (the main
+ * executable or a shared library); becomes one text mapping in the
+ * synthetic /proc maps.
+ */
+struct Segment
+{
+    std::string name;
+    bool isLibrary = false;
+    /** First instruction index (inclusive). */
+    std::uint32_t begin = 0;
+    /** Last instruction index (exclusive). */
+    std::uint32_t end = 0;
+};
+
+/** A source location, resolvable against a Program's file table. */
+struct SourceLoc
+{
+    std::uint16_t file = 0;
+    std::uint32_t line = 0;
+
+    friend bool
+    operator==(const SourceLoc &a, const SourceLoc &b)
+    {
+        return a.file == b.file && a.line == b.line;
+    }
+    friend auto
+    operator<=>(const SourceLoc &a, const SourceLoc &b)
+    {
+        if (auto c = a.file <=> b.file; c != 0)
+            return c;
+        return a.line <=> b.line;
+    }
+};
+
+/** An assembled program: the unit loaded into a simulated Machine. */
+class Program
+{
+  public:
+    std::string name;
+    std::vector<Instruction> code;
+    std::vector<SourceFile> files;
+    std::vector<Segment> segments;
+
+    /** Number of instructions. */
+    std::size_t size() const { return code.size(); }
+
+    /** Source location of the instruction at @p index. */
+    SourceLoc
+    locOf(std::uint32_t index) const
+    {
+        const Instruction &insn = code.at(index);
+        return {insn.file, insn.line};
+    }
+
+    /** Human-readable "file:line" for the instruction at @p index. */
+    std::string locString(std::uint32_t index) const;
+
+    /** Human-readable "file:line" for a source location. */
+    std::string locString(SourceLoc loc) const;
+
+    /** Segment containing @p index, or nullptr. */
+    const Segment *segmentOf(std::uint32_t index) const;
+
+    /** Disassemble one instruction. */
+    std::string disassemble(std::uint32_t index) const;
+
+    /** Disassemble the whole program (for debugging and tests). */
+    std::string disassembleAll() const;
+
+    /**
+     * Structural validation: branch targets in range, segments contiguous
+     * and covering, register indices legal, memory sizes legal.
+     * @return empty string if valid, else a description of the first error.
+     */
+    std::string validate() const;
+};
+
+} // namespace laser::isa
+
+#endif // LASER_ISA_PROGRAM_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * PEBS record types.
+ *
+ * The kernel driver strips each raw PEBS record down to the fields the
+ * detector needs: "the PC, data address, and originating core"
+ * (Section 6). We additionally carry the core-local cycle count (the TSC
+ * analogue) so the detector can compute HITM *rates* and decide when to
+ * invoke repair.
+ */
+
+#ifndef LASER_PEBS_RECORD_H
+#define LASER_PEBS_RECORD_H
+
+#include <cstdint>
+
+namespace laser::pebs {
+
+/** One HITM record as delivered by the driver to the detector. */
+struct PebsRecord
+{
+    /** Recorded instruction pointer (virtual address; may be skewed). */
+    std::uint64_t pc = 0;
+    /** Recorded data linear address (may be garbage, Section 3.1). */
+    std::uint64_t dataAddr = 0;
+    /** Originating core. */
+    int core = 0;
+    /** Core-local cycle count when the event fired. */
+    std::uint64_t cycle = 0;
+};
+
+/**
+ * Ground truth retained alongside each record when characterization mode
+ * is enabled (used only by the Figure 3 harness and tests; the detector
+ * never sees it).
+ */
+struct RecordTruth
+{
+    std::uint64_t truePc = 0;
+    std::uint64_t trueAddr = 0;
+    bool isLoadUop = false;
+};
+
+} // namespace laser::pebs
+
+#endif // LASER_PEBS_RECORD_H

@@ -1,0 +1,300 @@
+#include "repair/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace laser::repair {
+
+using isa::Op;
+
+Cfg::Cfg(const isa::Program &prog, const isa::Segment &segment)
+    : segment_(segment)
+{
+    buildBlocks(prog);
+    buildEdges(prog);
+    computeLoopDepths();
+    computePostDominators();
+}
+
+int
+Cfg::blockOf(std::uint32_t index) const
+{
+    if (index < segment_.begin || index >= segment_.end)
+        return -1;
+    return blockIndex_[index - segment_.begin];
+}
+
+void
+Cfg::buildBlocks(const isa::Program &prog)
+{
+    const std::uint32_t begin = segment_.begin;
+    const std::uint32_t end = segment_.end;
+    std::set<std::uint32_t> leaders;
+    leaders.insert(begin);
+
+    for (std::uint32_t i = begin; i < end; ++i) {
+        const isa::Instruction &insn = prog.code[i];
+        const bool ends_block =
+            isa::opIsBranch(insn.op) || insn.op == Op::Halt;
+        if (!ends_block)
+            continue;
+        if (insn.target >= 0) {
+            const auto target = static_cast<std::uint32_t>(insn.target);
+            if (target >= begin && target < end)
+                leaders.insert(target);
+        }
+        if (i + 1 < end)
+            leaders.insert(i + 1);
+    }
+
+    blocks_.clear();
+    blockIndex_.assign(end - begin, -1);
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        BasicBlock bb;
+        bb.first = *it;
+        bb.last = (next == leaders.end() ? end : *next) - 1;
+        const int id = static_cast<int>(blocks_.size());
+        for (std::uint32_t i = bb.first; i <= bb.last; ++i)
+            blockIndex_[i - begin] = id;
+        blocks_.push_back(bb);
+    }
+
+    // Per-block facts.
+    for (BasicBlock &bb : blocks_) {
+        for (std::uint32_t i = bb.first; i <= bb.last; ++i) {
+            const isa::Instruction &insn = prog.code[i];
+            if (isa::opIsFence(insn.op))
+                bb.hasFence = true;
+            if (insn.op == Op::Call)
+                bb.hasCall = true;
+            if (insn.op == Op::JmpReg || insn.op == Op::Ret)
+                bb.hasIndirect = true;
+            if (isa::opWritesMemory(insn.op))
+                ++bb.storeOps;
+            if (isa::opReadsMemory(insn.op))
+                ++bb.loadOps;
+        }
+    }
+}
+
+void
+Cfg::buildEdges(const isa::Program &prog)
+{
+    const std::uint32_t end = segment_.end;
+    for (int id = 0; id < static_cast<int>(blocks_.size()); ++id) {
+        BasicBlock &bb = blocks_[id];
+        const isa::Instruction &last = prog.code[bb.last];
+        auto add_edge = [&](int to) {
+            if (to < 0)
+                return;
+            bb.succs.push_back(to);
+            blocks_[to].preds.push_back(id);
+        };
+        auto target_block = [&]() {
+            return last.target >= 0
+                       ? blockOf(static_cast<std::uint32_t>(last.target))
+                       : -1;
+        };
+        const int fallthrough =
+            bb.last + 1 < end ? blockOf(bb.last + 1) : -1;
+
+        switch (last.op) {
+          case Op::Jmp:
+            add_edge(target_block());
+            break;
+          case Op::Beq:
+          case Op::Bne:
+          case Op::Blt:
+          case Op::Bge:
+            add_edge(target_block());
+            if (fallthrough != target_block())
+                add_edge(fallthrough);
+            break;
+          case Op::Call:
+            // The callee is opaque; control returns to the fallthrough.
+            add_edge(fallthrough);
+            break;
+          case Op::Halt:
+          case Op::JmpReg:
+          case Op::Ret:
+            bb.isExit = true;
+            break;
+          default:
+            add_edge(fallthrough);
+            break;
+        }
+        if (bb.succs.empty())
+            bb.isExit = true;
+        if (bb.isExit)
+            exits_.push_back(id);
+    }
+}
+
+void
+Cfg::computeLoopDepths()
+{
+    // Iterative DFS from the entry block to find back edges; each back
+    // edge u->v defines a natural loop {v} + nodes reaching u without
+    // passing v.
+    const int n = static_cast<int>(blocks_.size());
+    if (n == 0)
+        return;
+
+    std::vector<int> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, std::size_t>> stack;
+    std::vector<std::pair<int, int>> back_edges;
+
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[node, edge] = stack.back();
+        if (edge < blocks_[node].succs.size()) {
+            const int succ = blocks_[node].succs[edge++];
+            if (state[succ] == 0) {
+                state[succ] = 1;
+                stack.emplace_back(succ, 0);
+            } else if (state[succ] == 1) {
+                back_edges.emplace_back(node, succ);
+            }
+        } else {
+            state[node] = 2;
+            stack.pop_back();
+        }
+    }
+
+    for (const auto &[tail, header] : back_edges) {
+        // Reverse reachability from tail, not crossing header.
+        std::vector<bool> in_loop(n, false);
+        in_loop[header] = true;
+        std::vector<int> work;
+        if (!in_loop[tail]) {
+            in_loop[tail] = true;
+            work.push_back(tail);
+        }
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            for (int pred : blocks_[b].preds) {
+                if (!in_loop[pred]) {
+                    in_loop[pred] = true;
+                    work.push_back(pred);
+                }
+            }
+        }
+        for (int b = 0; b < n; ++b) {
+            if (in_loop[b])
+                ++blocks_[b].loopDepth;
+        }
+    }
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Set-based iterative post-dominance over the CFG + a virtual exit.
+    const int n = static_cast<int>(blocks_.size());
+    ipdom_.assign(n, -1);
+    if (n == 0)
+        return;
+
+    // pdom[b] as a bool matrix; virtual exit is implicit (every block's
+    // paths end there).
+    pdomSets_.assign(n, std::vector<bool>(n, true));
+    for (int b = 0; b < n; ++b) {
+        if (blocks_[b].isExit) {
+            std::fill(pdomSets_[b].begin(), pdomSets_[b].end(), false);
+            pdomSets_[b][b] = true;
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = n - 1; b >= 0; --b) {
+            if (blocks_[b].isExit)
+                continue;
+            std::vector<bool> next(n, true);
+            if (blocks_[b].succs.empty()) {
+                std::fill(next.begin(), next.end(), false);
+            } else {
+                for (int s : blocks_[b].succs) {
+                    for (int x = 0; x < n; ++x)
+                        next[x] = next[x] && pdomSets_[s][x];
+                }
+            }
+            next[b] = true;
+            if (next != pdomSets_[b]) {
+                pdomSets_[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator that is
+    // post-dominated by every other strict post-dominator.
+    for (int b = 0; b < n; ++b) {
+        int best = -1;
+        for (int c = 0; c < n; ++c) {
+            if (c == b || !pdomSets_[b][c])
+                continue;
+            bool nearest = true;
+            for (int d = 0; d < n; ++d) {
+                if (d == b || d == c || !pdomSets_[b][d])
+                    continue;
+                if (!pdomSets_[c][d]) {
+                    nearest = false;
+                    break;
+                }
+            }
+            if (nearest) {
+                best = c;
+                break;
+            }
+        }
+        ipdom_[b] = best;
+    }
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    if (a < 0 || b < 0)
+        return false;
+    return pdomSets_[b][a];
+}
+
+int
+Cfg::commonPostDominator(const std::vector<int> &ids) const
+{
+    const int n = static_cast<int>(blocks_.size());
+    if (ids.empty())
+        return -1;
+    std::vector<int> candidates;
+    for (int c = 0; c < n; ++c) {
+        bool ok = true;
+        for (int m : ids) {
+            if (c == m || !postDominates(c, m)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            candidates.push_back(c);
+    }
+    // Nearest: post-dominated by all other candidates.
+    for (int c : candidates) {
+        bool nearest = true;
+        for (int d : candidates) {
+            if (d != c && !postDominates(d, c)) {
+                nearest = false;
+                break;
+            }
+        }
+        if (nearest)
+            return c;
+    }
+    return -1;
+}
+
+} // namespace laser::repair

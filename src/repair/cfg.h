@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Control-flow graph over the application segment of a program.
+ *
+ * LASERREPAIR's static analysis (Section 5.3, Figure 7) needs basic
+ * blocks, successor/predecessor edges, loop nesting depth (to place
+ * flushes outside loops and to estimate dynamic store counts) and
+ * post-dominators (flush operations must post-dominate the modified
+ * blocks). Calls and indirect jumps are opaque at assembly level; blocks
+ * containing them are flagged so the analysis can refuse regions it
+ * cannot reason about precisely — exactly why the paper's lu_ncb is
+ * detected but not auto-repaired (Section 7.4.2).
+ */
+
+#ifndef LASER_REPAIR_CFG_H
+#define LASER_REPAIR_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace laser::repair {
+
+/** One basic block: instructions [first, last], both inclusive. */
+struct BasicBlock
+{
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    std::vector<int> succs;
+    std::vector<int> preds;
+    /** Loop nesting depth (0 = not in any natural loop). */
+    int loopDepth = 0;
+    bool hasCall = false;
+    bool hasIndirect = false; ///< JmpReg/Ret inside (tail of) the block
+    bool hasFence = false;    ///< explicit fence or atomic op
+    bool isExit = false;      ///< ends in Halt or an indirect jump
+
+    /** Number of store-set instructions in the block (set lazily). */
+    int storeOps = 0;
+    /** Number of load-set instructions in the block. */
+    int loadOps = 0;
+};
+
+/** CFG over one (application) segment. */
+class Cfg
+{
+  public:
+    Cfg(const isa::Program &prog, const isa::Segment &segment);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing instruction @p index; -1 if outside the segment. */
+    int blockOf(std::uint32_t index) const;
+
+    /** Ids of exit blocks (no static successors). */
+    const std::vector<int> &exits() const { return exits_; }
+
+    const isa::Segment &segment() const { return segment_; }
+
+    /**
+     * Immediate post-dominator of each block; -1 means the virtual exit
+     * is the immediate post-dominator (or the block is unreachable).
+     */
+    const std::vector<int> &ipdom() const { return ipdom_; }
+
+    /** True if block @p a post-dominates block @p b (a == b counts). */
+    bool postDominates(int a, int b) const;
+
+    /**
+     * Nearest common post-dominator of a set of blocks; -1 if only the
+     * virtual exit post-dominates them all.
+     */
+    int commonPostDominator(const std::vector<int> &ids) const;
+
+  private:
+    void buildBlocks(const isa::Program &prog);
+    void buildEdges(const isa::Program &prog);
+    void computeLoopDepths();
+    void computePostDominators();
+
+    isa::Segment segment_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockIndex_; ///< insn offset in segment -> block id
+    std::vector<int> exits_;
+    std::vector<int> ipdom_;
+    /** pdomSets_[b][a] == true iff a post-dominates b. */
+    std::vector<std::vector<bool>> pdomSets_;
+};
+
+} // namespace laser::repair
+
+#endif // LASER_REPAIR_CFG_H

@@ -1,0 +1,253 @@
+#include "repair/repairer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace laser::repair {
+
+using isa::Instruction;
+using isa::Op;
+
+Repairer::Repairer(const isa::Program &prog, RepairConfig cfg)
+    : prog_(prog), config_(cfg), cfg_(prog, prog.segments.front())
+{
+}
+
+RepairPlan
+Repairer::analyze(const std::vector<std::uint32_t> &pcs) const
+{
+    RepairPlan plan;
+    const auto &blocks = cfg_.blocks();
+
+    // 1. Contending blocks within the application segment.
+    std::set<int> marked_set;
+    for (std::uint32_t pc : pcs) {
+        const int b = cfg_.blockOf(pc);
+        if (b >= 0)
+            marked_set.insert(b);
+    }
+    if (marked_set.empty()) {
+        plan.reason = "no contending PCs in analyzable application code";
+        return plan;
+    }
+    std::vector<int> marked(marked_set.begin(), marked_set.end());
+
+    int min_depth = blocks[marked[0]].loopDepth;
+    for (int m : marked)
+        min_depth = std::min(min_depth, blocks[m].loopDepth);
+
+    // 2. Flush point: nearest common post-dominator, hoisted out of the
+    //    loops containing the contending blocks.
+    int flush = cfg_.commonPostDominator(marked);
+    while (flush != -1 && min_depth > 0 &&
+           blocks[flush].loopDepth >= min_depth) {
+        flush = cfg_.ipdom()[flush];
+    }
+    if (flush == -1) {
+        plan.reason = "no single flush point post-dominates the "
+                      "contending blocks";
+        return plan;
+    }
+
+    // 3. Region: reachable from contending blocks without passing the
+    //    flush block.
+    std::set<int> region(marked.begin(), marked.end());
+    std::vector<int> work(marked.begin(), marked.end());
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        for (int s : blocks[b].succs) {
+            if (s != flush && region.insert(s).second)
+                work.push_back(s);
+        }
+    }
+
+    // 4a. Refuse opaque control flow (calls / indirect jumps) — the
+    //     lu_ncb "sophisticated code structure" case.
+    for (int b : region) {
+        if (blocks[b].hasCall || blocks[b].hasIndirect) {
+            plan.reason = "opaque control flow (call/indirect) in the "
+                          "contending region";
+            return plan;
+        }
+    }
+
+    // 4b. Cost model: estimated dynamic stores per flush.
+    auto weight = [&](int depth) {
+        const int d = std::min(depth, config_.loopDepthCap);
+        return std::pow(double(config_.tripCountEstimate), double(d));
+    };
+    double est_stores = 0.0;
+    double est_flushes = weight(blocks[flush].loopDepth);
+    for (int b : region) {
+        est_stores += double(blocks[b].storeOps) *
+                      weight(blocks[b].loopDepth);
+        // Fences inside the region force a flush each time they run.
+        for (std::uint32_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+            if (isa::opIsFence(prog_.code[i].op))
+                est_flushes += weight(blocks[b].loopDepth);
+        }
+    }
+    plan.estStores = est_stores;
+    plan.estFlushes = est_flushes;
+    if (plan.estRatio() < config_.minStoreFlushRatio) {
+        plan.reason = "estimated store:flush ratio " +
+                      std::to_string(plan.estRatio()) +
+                      " below profitability threshold";
+        return plan;
+    }
+
+    // 4c. SSB working-set check: more distinct static store targets
+    //     than the buffer can coalesce means pre-emptive flushing on
+    //     nearly every store, which cannot profit.
+    std::set<std::pair<std::uint8_t, std::int64_t>> store_targets;
+    for (int b : region) {
+        for (std::uint32_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+            const Instruction &insn = prog_.code[i];
+            if (insn.op == Op::Store || insn.op == Op::AddMem)
+                store_targets.insert({insn.src1, insn.imm});
+        }
+    }
+    if (store_targets.size() > 16) {
+        plan.reason = "store working set (" +
+                      std::to_string(store_targets.size()) +
+                      " static targets) exceeds SSB capacity";
+        return plan;
+    }
+
+    // 5. Collect memory ops; speculative alias analysis for loads.
+    std::set<std::uint8_t> store_bases;
+    for (int b : region) {
+        for (std::uint32_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+            const Instruction &insn = prog_.code[i];
+            if (insn.op == Op::Store || insn.op == Op::AddMem ||
+                    isa::opIsAtomic(insn.op)) {
+                store_bases.insert(insn.src1);
+            }
+        }
+    }
+    for (int b : region) {
+        for (std::uint32_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+            const Instruction &insn = prog_.code[i];
+            if (insn.op == Op::Store || insn.op == Op::AddMem) {
+                plan.instrumentedOps.push_back(i);
+            } else if (insn.op == Op::Load) {
+                if (config_.aliasSpeculation &&
+                        !store_bases.count(insn.src1)) {
+                    plan.skippedLoads.push_back(i);
+                } else {
+                    plan.instrumentedOps.push_back(i);
+                }
+            }
+        }
+    }
+
+    plan.regionBlocks.assign(region.begin(), region.end());
+    plan.flushInsertBefore = blocks[flush].first;
+    plan.applied = true;
+    plan.reason = "ok";
+    return plan;
+}
+
+isa::Program
+Repairer::instrument(const RepairPlan &plan,
+                     std::vector<std::uint32_t> *out_index_map) const
+{
+    // Insertions keyed by the old instruction index they precede.
+    struct Insertion
+    {
+        std::uint32_t before;
+        Instruction insn;
+    };
+    std::vector<Insertion> insertions;
+
+    {
+        Instruction flush;
+        flush.op = Op::SsbFlush;
+        flush.file = prog_.code[plan.flushInsertBefore].file;
+        flush.line = prog_.code[plan.flushInsertBefore].line;
+        insertions.push_back({plan.flushInsertBefore, flush});
+    }
+    for (std::uint32_t load : plan.skippedLoads) {
+        const Instruction &l = prog_.code[load];
+        Instruction check;
+        check.op = Op::AliasCheck;
+        check.src1 = l.src1;
+        check.imm = l.imm;
+        check.file = l.file;
+        check.line = l.line;
+        insertions.push_back({load, check});
+    }
+    std::stable_sort(insertions.begin(), insertions.end(),
+                     [](const Insertion &a, const Insertion &b) {
+                         return a.before < b.before;
+                     });
+
+    isa::Program out;
+    out.name = prog_.name;
+    out.files = prog_.files;
+    const std::size_t n = prog_.code.size();
+
+    // slot_start[i]: new index where control arriving at old i lands
+    // (i.e. the first insertion at that slot, if any).
+    std::vector<std::uint32_t> slot_start(n + 1, 0);
+    std::vector<std::uint32_t> new_index(n, 0);
+
+    std::size_t ins_cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        slot_start[i] = static_cast<std::uint32_t>(out.code.size());
+        while (ins_cursor < insertions.size() &&
+               insertions[ins_cursor].before == i) {
+            out.code.push_back(insertions[ins_cursor].insn);
+            ++ins_cursor;
+        }
+        new_index[i] = static_cast<std::uint32_t>(out.code.size());
+        out.code.push_back(prog_.code[i]);
+    }
+    slot_start[n] = static_cast<std::uint32_t>(out.code.size());
+
+    // Apply SSB flags.
+    for (std::uint32_t i : plan.instrumentedOps)
+        out.code[new_index[i]].useSsb = true;
+    for (std::uint32_t i : plan.skippedLoads) {
+        out.code[new_index[i]].useSsb = true;
+        out.code[new_index[i]].ssbSkip = true;
+    }
+
+    // Relocate branch targets: control transfers land at the slot start
+    // so inserted flushes/checks on the target block execute.
+    for (Instruction &insn : out.code) {
+        if (insn.target >= 0)
+            insn.target = static_cast<std::int32_t>(
+                slot_start[static_cast<std::size_t>(insn.target)]);
+    }
+
+    // Relocate segments.
+    for (const isa::Segment &seg : prog_.segments) {
+        isa::Segment s = seg;
+        s.begin = slot_start[seg.begin];
+        s.end = slot_start[seg.end];
+        out.segments.push_back(s);
+    }
+
+    if (out_index_map)
+        *out_index_map = new_index;
+    return out;
+}
+
+RepairOutcome
+repairProgram(const isa::Program &prog,
+              const std::vector<std::uint32_t> &pcs, RepairConfig cfg)
+{
+    Repairer repairer(prog, cfg);
+    RepairOutcome outcome;
+    outcome.plan = repairer.analyze(pcs);
+    if (outcome.plan.applied)
+        outcome.program = repairer.instrument(outcome.plan);
+    else
+        outcome.program = prog;
+    return outcome;
+}
+
+} // namespace laser::repair

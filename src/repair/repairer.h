@@ -1,0 +1,115 @@
+/**
+ * @file
+ * LASERREPAIR: static analysis + binary rewriting for online false
+ * sharing repair (Section 5).
+ *
+ * Given the contending PCs reported by LASERDETECT, the repairer:
+ *
+ *  1. locates the basic blocks containing contending instructions;
+ *  2. chooses a flush point that post-dominates them with lower loop
+ *     depth (so flushes run at loop exits, not per iteration — Fig. 7);
+ *  3. computes the region of blocks reachable from the contending blocks
+ *     without passing the flush, whose memory operations must all use
+ *     the SSB to preserve single-threaded semantics and TSO
+ *     (Sections 5.2 / 5.4: once a store is buffered, subsequent
+ *     operations up to the flush must be buffered too);
+ *  4. refuses regions it cannot analyze precisely (opaque calls or
+ *     indirect jumps — the lu_ncb case) and regions whose estimated
+ *     store:flush ratio is too low to profit (fences inside small
+ *     critical sections represent fundamental contention LASERREPAIR
+ *     cannot repair);
+ *  5. runs a simplified speculative alias analysis (Section 5.3): loads
+ *     whose base register is never used by any buffered store skip the
+ *     SSB lookup, guarded by a runtime alias check that flushes on
+ *     mis-speculation (a thread-local decision, so TSO is preserved);
+ *  6. rewrites the program: marks region memory ops as SSB users,
+ *     inserts the flush, and inserts alias checks.
+ */
+
+#ifndef LASER_REPAIR_REPAIRER_H
+#define LASER_REPAIR_REPAIRER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "repair/cfg.h"
+
+namespace laser::repair {
+
+/** Repair policy knobs. */
+struct RepairConfig
+{
+    /** Minimum estimated stores per flush for repair to be profitable. */
+    double minStoreFlushRatio = 8.0;
+    /** Static trip-count estimate per loop nesting level. */
+    int tripCountEstimate = 64;
+    /** Cap on the loop-depth exponent in the static estimate. */
+    int loopDepthCap = 3;
+    /** Enable the speculative alias analysis for loads. */
+    bool aliasSpeculation = true;
+};
+
+/** Result of the static analysis over one set of contending PCs. */
+struct RepairPlan
+{
+    bool applied = false;
+    /** Human-readable acceptance/rejection reason. */
+    std::string reason;
+    std::vector<int> regionBlocks;
+    /** Instruction indices whose memory ops will use the SSB. */
+    std::vector<std::uint32_t> instrumentedOps;
+    /** Loads proven (speculatively) non-aliasing: skip + alias check. */
+    std::vector<std::uint32_t> skippedLoads;
+    /** Instruction index the flush is inserted before. */
+    std::uint32_t flushInsertBefore = 0;
+    double estStores = 0.0;
+    double estFlushes = 0.0;
+
+    double
+    estRatio() const
+    {
+        return estFlushes > 0.0 ? estStores / estFlushes : 0.0;
+    }
+};
+
+/** Analyzer + rewriter bound to one program. */
+class Repairer
+{
+  public:
+    explicit Repairer(const isa::Program &prog, RepairConfig cfg = {});
+
+    /** Static analysis for the given contending instruction indices. */
+    RepairPlan analyze(const std::vector<std::uint32_t> &pcs) const;
+
+    /**
+     * Rewrite the program per an applied plan. @p out_index_map (if
+     * non-null) receives old-instruction-index -> new-index.
+     */
+    isa::Program instrument(const RepairPlan &plan,
+                            std::vector<std::uint32_t> *out_index_map =
+                                nullptr) const;
+
+    const Cfg &cfg() const { return cfg_; }
+
+  private:
+    const isa::Program &prog_;
+    RepairConfig config_;
+    Cfg cfg_;
+};
+
+/** Convenience: analyze and, if profitable, instrument in one call. */
+struct RepairOutcome
+{
+    RepairPlan plan;
+    isa::Program program; ///< rewritten iff plan.applied, else original
+};
+
+RepairOutcome repairProgram(const isa::Program &prog,
+                            const std::vector<std::uint32_t> &pcs,
+                            RepairConfig cfg = {});
+
+} // namespace laser::repair
+
+#endif // LASER_REPAIR_REPAIRER_H

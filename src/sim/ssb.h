@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Software store buffer (SSB) — the core of LASERREPAIR (Section 5).
+ *
+ * Stores modified to use the SSB write into this thread-private structure
+ * instead of shared memory; loads snoop it first; an explicit flush
+ * publishes all buffered bytes. Two implementations are provided:
+ *
+ *  - Coalescing (the paper's choice, Section 5.5): one slot per 8-byte
+ *    memory chunk with a per-byte valid bitmap. Space-efficient — millions
+ *    of stores collapse into a handful of entries — but individual-entry
+ *    flushing could reorder stores illegally under TSO, so the flush must
+ *    be strongly atomic (one hardware transaction).
+ *  - Fifo (the ablation baseline): a queue with one entry per store.
+ *    Trivially TSO-correct to drain in order, but impractically large
+ *    between flushes; bench_ablation_ssb quantifies the difference.
+ *
+ * A per-byte bitmap records which bytes are valid within an entry so
+ * unaligned and partial-overlap accesses are handled correctly
+ * (Section 5.1).
+ */
+
+#ifndef LASER_SIM_SSB_H
+#define LASER_SIM_SSB_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace laser::sim {
+
+/** SSB implementation strategy. */
+enum class SsbMode : std::uint8_t {
+    Coalescing, ///< one slot per 8-byte chunk (paper design)
+    Fifo,       ///< one entry per store (ablation baseline)
+};
+
+/** One drained store-buffer entry, ready to apply to memory. */
+struct SsbDrainEntry
+{
+    std::uint64_t addr = 0;    ///< base byte address of the chunk
+    std::uint8_t validMask = 0;///< bit i set => byte addr+i is valid
+    std::uint8_t bytes[8] = {};
+    std::uint64_t minSeq = 0;  ///< lowest store sequence merged in
+    std::uint64_t maxSeq = 0;  ///< highest store sequence merged in
+};
+
+/** Thread-private software store buffer. */
+class SoftwareStoreBuffer
+{
+  public:
+    explicit SoftwareStoreBuffer(SsbMode mode = SsbMode::Coalescing)
+        : mode_(mode)
+    {
+    }
+
+    /** Buffer a store of @p size bytes of @p value at @p addr. */
+    void put(std::uint64_t addr, int size, std::uint64_t value,
+             std::uint64_t seq);
+
+    /**
+     * True if every byte of [addr, addr+size) is buffered; if so, @p value
+     * receives the buffered data.
+     */
+    bool getFull(std::uint64_t addr, int size, std::uint64_t *value) const;
+
+    /** True if any byte of [addr, addr+size) is buffered. */
+    bool containsAny(std::uint64_t addr, int size) const;
+
+    /**
+     * Overlay buffered bytes onto @p mem_value (the value read from
+     * memory), returning the TSO-correct merged load result.
+     */
+    std::uint64_t merge(std::uint64_t addr, int size,
+                        std::uint64_t mem_value) const;
+
+    /**
+     * Remove and return all entries, ordered by chunk address
+     * (coalescing) or store order (fifo).
+     */
+    std::vector<SsbDrainEntry> drain();
+
+    /** Number of occupied slots (chunks or queued stores). */
+    std::size_t entryCount() const;
+
+    bool empty() const { return entryCount() == 0; }
+
+    SsbMode mode() const { return mode_; }
+
+    /** Total stores buffered since construction (for stats/ablation). */
+    std::uint64_t totalPuts() const { return totalPuts_; }
+
+  private:
+    struct Slot
+    {
+        std::uint8_t validMask = 0;
+        std::uint8_t bytes[8] = {};
+        std::uint64_t minSeq = 0;
+        std::uint64_t maxSeq = 0;
+    };
+
+    void putByte(std::uint64_t addr, std::uint8_t byte, std::uint64_t seq);
+    const Slot *slotFor(std::uint64_t chunk) const;
+
+    SsbMode mode_;
+    // Keyed by addr >> 3; std::map keeps drain order deterministic.
+    std::map<std::uint64_t, Slot> slots_;
+
+    struct FifoEntry
+    {
+        std::uint64_t addr;
+        std::uint8_t size;
+        std::uint64_t value;
+        std::uint64_t seq;
+    };
+    std::vector<FifoEntry> fifo_;
+
+    std::uint64_t totalPuts_ = 0;
+};
+
+} // namespace laser::sim
+
+#endif // LASER_SIM_SSB_H

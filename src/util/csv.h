@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV writer so experiment harnesses can dump machine-readable
+ * results next to their human-readable tables.
+ */
+
+#ifndef LASER_UTIL_CSV_H
+#define LASER_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace laser {
+
+/** Accumulates rows and writes an RFC-4180-ish CSV file. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; short rows are padded with empty fields. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string (header first). */
+    std::string render() const;
+
+    /** Write to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace laser
+
+#endif // LASER_UTIL_CSV_H

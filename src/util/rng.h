@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic decision in the LASER reproduction (PEBS record
+ * imprecision, scheduler tie-breaking, workload input synthesis) draws from
+ * an explicitly-seeded Rng so that every experiment is bit-reproducible.
+ * The generator is xoshiro256** seeded through SplitMix64, which is both
+ * fast and statistically strong enough for simulation purposes.
+ */
+
+#ifndef LASER_UTIL_RNG_H
+#define LASER_UTIL_RNG_H
+
+#include <cstdint>
+#include <limits>
+
+namespace laser {
+
+/** SplitMix64 step; used to expand a single seed into a full state. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** deterministic random number generator.
+ *
+ * Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+ * with standard distributions, though the inline helpers below are
+ * preferred because their output is platform-independent.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x1a5e21a5e2ULL) { reseed(seed); }
+
+    /** Re-initialize the full state from a single seed value. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit output. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). Returns 0 when bound == 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Lemire's multiply-shift rejection-free reduction is biased by at
+        // most 2^-64 for our bounds, which is irrelevant for simulation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /** Uniform integer in the closed interval [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Derive an independent child generator (for per-component streams). */
+    Rng
+    fork()
+    {
+        return Rng(operator()() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace laser
+
+#endif // LASER_UTIL_RNG_H

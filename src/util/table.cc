@@ -1,0 +1,111 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace laser {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << " " << cell
+               << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+        return os.str();
+    };
+
+    auto render_sep = [&]() {
+        std::ostringstream os;
+        os << "+";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream out;
+    out << render_sep();
+    out << render_line(headers_);
+    out << render_sep();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+                separators_.end()) {
+            out << render_sep();
+        }
+        out << render_line(rows_[r]);
+    }
+    out << render_sep();
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+    return buf;
+}
+
+std::string
+fmtTimes(double v, int places)
+{
+    return fmtDouble(v, places) + "x";
+}
+
+std::string
+fmtPercent(double fraction, int places)
+{
+    return fmtDouble(fraction * 100.0, places) + "%";
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace laser

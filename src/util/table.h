@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures and
+ * prints a "paper vs measured" table; TablePrinter keeps that output
+ * consistent and readable across all of them.
+ */
+
+#ifndef LASER_UTIL_TABLE_H
+#define LASER_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace laser {
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter t({"benchmark", "paper", "measured"});
+ *   t.addRow({"kmeans", "1.22", "1.19"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator line before the next row. */
+    void addSeparator();
+
+    /** Render the complete table, including a header separator. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fmtDouble(double v, int places = 2);
+
+/** Format a value as a multiplier, e.g. "1.19x". */
+std::string fmtTimes(double v, int places = 2);
+
+/** Format a fraction as a percentage, e.g. 0.02 -> "2.0%". */
+std::string fmtPercent(double fraction, int places = 1);
+
+/** Format an integer count with thousands separators. */
+std::string fmtCount(std::uint64_t v);
+
+} // namespace laser
+
+#endif // LASER_UTIL_TABLE_H

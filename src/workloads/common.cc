@@ -1,0 +1,118 @@
+#include "workloads/common.h"
+
+namespace laser::workloads {
+
+using namespace laser::isa;
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Phoenix:  return "phoenix";
+      case Suite::Parsec:   return "parsec";
+      case Suite::Splash2x: return "splash2x";
+    }
+    return "???";
+}
+
+const char *
+bugTypeName(BugType type)
+{
+    return type == BugType::FalseSharing ? "FS" : "TS";
+}
+
+const char *
+sheriffCompatName(SheriffCompat compat)
+{
+    switch (compat) {
+      case SheriffCompat::Works:           return "works";
+      case SheriffCompat::WorksSmallInput: return "works*";
+      case SheriffCompat::Crash:           return "x";
+      case SheriffCompat::Incompatible:    return "i";
+    }
+    return "???";
+}
+
+void
+emitBarrier(Ctx &ctx, std::uint64_t barrier_addr)
+{
+    ctx.a.movi(R12, static_cast<std::int64_t>(barrier_addr));
+    ctx.a.callLib(LibFn::BarrierWait);
+}
+
+void
+emitInlineTtsAcquire(Asm &a, Reg addr_reg, Reg scratch)
+{
+    Asm::Label retry = a.here();
+    Asm::Label spin = a.newLabel();
+    Asm::Label done = a.newLabel();
+    a.load(scratch, addr_reg, 0, 8);
+    a.bne(scratch, R0, spin);
+    a.movi(scratch, 1);
+    a.markSync(a.cas(scratch, addr_reg, 0, R0), SyncKind::LockAcquire);
+    a.beq(scratch, R0, done);
+    a.bind(spin);
+    a.pause();
+    a.jmp(retry);
+    a.bind(done);
+}
+
+void
+emitInlineSpinAcquire(Asm &a, Reg addr_reg, Reg scratch)
+{
+    Asm::Label retry = a.here();
+    Asm::Label done = a.newLabel();
+    a.movi(scratch, 1);
+    a.markSync(a.cas(scratch, addr_reg, 0, R0), SyncKind::LockAcquire);
+    a.beq(scratch, R0, done);
+    a.pause();
+    a.jmp(retry);
+    a.bind(done);
+}
+
+void
+emitInlineRelease(Asm &a, Reg addr_reg)
+{
+    a.markSync(a.store(addr_reg, 0, R0, 8), SyncKind::LockRelease);
+}
+
+void
+emitThreadAddr(Asm &a, Reg dst, Reg tid_reg, std::uint64_t base,
+               std::int64_t stride, Reg scratch)
+{
+    a.muli(scratch, tid_reg, stride);
+    a.movi(dst, static_cast<std::int64_t>(base));
+    a.add(dst, dst, scratch);
+}
+
+void
+emitPrivateWork(Asm &a, Reg data_reg, Reg counter_reg, std::int64_t iters,
+                int loads, int arith, int stores, std::int64_t stride)
+{
+    a.movi(counter_reg, iters);
+    Asm::Label loop = a.here();
+    // Interleave loads with arithmetic (as a scheduling compiler would);
+    // back-to-back loads are penalized by profilers that sample loads.
+    int arith_left = arith;
+    for (int i = 0; i < loads; ++i) {
+        a.load(R6, data_reg, 8 * i, 8);
+        if (arith_left > 0) {
+            a.addi(R7, R6, i + 1);
+            --arith_left;
+        }
+    }
+    for (int i = 0; i < arith_left; ++i) {
+        if (i % 3 == 2)
+            a.mul(R7, R6, R6);
+        else
+            a.addi(R7, R6, i + 1);
+    }
+    for (int i = 0; i < stores; ++i)
+        a.store(data_reg, 8 * i, R7, 8);
+    if (stride != 0)
+        a.addi(data_reg, data_reg, stride);
+    a.subi(counter_reg, counter_reg, 1);
+    a.bne(counter_reg, R0, loop);
+}
+
+} // namespace laser::workloads

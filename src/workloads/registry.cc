@@ -1,0 +1,74 @@
+#include "workloads/workload.h"
+
+#include "workloads/suites.h"
+
+namespace laser::workloads {
+
+const std::vector<WorkloadDef> &
+allWorkloads()
+{
+    // Table 1 order.
+    static const std::vector<WorkloadDef> defs = [] {
+        std::vector<WorkloadDef> v;
+        v.push_back(makeBarnes());
+        v.push_back(makeBlackscholes());
+        v.push_back(makeBodytrack());
+        v.push_back(makeCanneal());
+        v.push_back(makeDedup());
+        v.push_back(makeFacesim());
+        v.push_back(makeFerret());
+        v.push_back(makeFft());
+        v.push_back(makeFluidanimate());
+        v.push_back(makeFmm());
+        v.push_back(makeFreqmine());
+        v.push_back(makeHistogram());
+        v.push_back(makeHistogramAlt());
+        v.push_back(makeKmeans());
+        v.push_back(makeLinearRegression());
+        v.push_back(makeLuCb());
+        v.push_back(makeLuNcb());
+        v.push_back(makeMatrixMultiply());
+        v.push_back(makeOceanCp());
+        v.push_back(makeOceanNcp());
+        v.push_back(makePca());
+        v.push_back(makeRadiosity());
+        v.push_back(makeRadix());
+        v.push_back(makeRaytraceParsec());
+        v.push_back(makeRaytraceSplash2x());
+        v.push_back(makeReverseIndex());
+        v.push_back(makeStreamcluster());
+        v.push_back(makeStringMatch());
+        v.push_back(makeSwaptions());
+        v.push_back(makeVips());
+        v.push_back(makeVolrend());
+        v.push_back(makeWaterNsquared());
+        v.push_back(makeWaterSpatial());
+        v.push_back(makeWordCount());
+        v.push_back(makeX264());
+        return v;
+    }();
+    return defs;
+}
+
+const WorkloadDef *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadDef &def : allWorkloads()) {
+        if (def.info.name == name)
+            return &def;
+    }
+    return nullptr;
+}
+
+std::vector<const WorkloadDef *>
+buggyWorkloads()
+{
+    std::vector<const WorkloadDef *> out;
+    for (const WorkloadDef &def : allWorkloads()) {
+        if (!def.info.bugs.empty())
+            out.push_back(&def);
+    }
+    return out;
+}
+
+} // namespace laser::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-suite workload builder declarations; registry.cc assembles them
+ * into the Table 1 list.
+ */
+
+#ifndef LASER_WORKLOADS_SUITES_H
+#define LASER_WORKLOADS_SUITES_H
+
+#include "workloads/workload.h"
+
+namespace laser::workloads {
+
+// Phoenix
+WorkloadDef makeHistogram();
+WorkloadDef makeHistogramAlt(); ///< histogram' — the FS-inducing input
+WorkloadDef makeKmeans();
+WorkloadDef makeLinearRegression();
+WorkloadDef makeMatrixMultiply();
+WorkloadDef makePca();
+WorkloadDef makeReverseIndex();
+WorkloadDef makeStringMatch();
+WorkloadDef makeWordCount();
+
+// Parsec
+WorkloadDef makeBlackscholes();
+WorkloadDef makeBodytrack();
+WorkloadDef makeCanneal();
+WorkloadDef makeDedup();
+WorkloadDef makeFacesim();
+WorkloadDef makeFerret();
+WorkloadDef makeFluidanimate();
+WorkloadDef makeFreqmine();
+WorkloadDef makeRaytraceParsec();
+WorkloadDef makeStreamcluster();
+WorkloadDef makeSwaptions();
+WorkloadDef makeVips();
+WorkloadDef makeX264();
+
+// Splash2x
+WorkloadDef makeBarnes();
+WorkloadDef makeFft();
+WorkloadDef makeFmm();
+WorkloadDef makeLuCb();
+WorkloadDef makeLuNcb();
+WorkloadDef makeOceanCp();
+WorkloadDef makeOceanNcp();
+WorkloadDef makeRadiosity();
+WorkloadDef makeRadix();
+WorkloadDef makeRaytraceSplash2x();
+WorkloadDef makeVolrend();
+WorkloadDef makeWaterNsquared();
+WorkloadDef makeWaterSpatial();
+
+} // namespace laser::workloads
+
+#endif // LASER_WORKLOADS_SUITES_H

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the ISA module: assembler label resolution, program
+ * validation, source locations, segments, the runtime library and
+ * load/store-set decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/decode.h"
+#include "isa/program.h"
+#include "isa/types.h"
+
+namespace laser::isa {
+namespace {
+
+TEST(Assembler, EmitsInstructionsInOrder)
+{
+    Asm a("prog");
+    EXPECT_EQ(a.movi(R1, 5), 0u);
+    EXPECT_EQ(a.addi(R1, R1, 1), 1u);
+    EXPECT_EQ(a.halt(), 2u);
+    Program p = a.finalize();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Op::MovImm);
+    EXPECT_EQ(p.code[1].op, Op::AddImm);
+    EXPECT_EQ(p.code[2].op, Op::Halt);
+}
+
+TEST(Assembler, ResolvesForwardLabels)
+{
+    Asm a("prog");
+    Asm::Label skip = a.newLabel();
+    a.movi(R1, 1);
+    a.jmp(skip);
+    a.movi(R1, 2); // skipped
+    a.bind(skip);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.code[1].op, Op::Jmp);
+    EXPECT_EQ(p.code[1].target, 3);
+}
+
+TEST(Assembler, ResolvesBackwardLabels)
+{
+    Asm a("prog");
+    a.movi(R1, 10);
+    Asm::Label loop = a.here();
+    a.subi(R1, R1, 1);
+    a.bne(R1, R0, loop);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.code[2].target, 1);
+}
+
+TEST(Assembler, TracksSourceLocations)
+{
+    Asm a("prog", "kernel.c");
+    a.at(42).movi(R1, 0);
+    a.at(43).halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.locString(0), "kernel.c:42");
+    EXPECT_EQ(p.locString(1), "kernel.c:43");
+}
+
+TEST(Assembler, MultipleSourceFiles)
+{
+    Asm a("prog", "main.c");
+    a.at(1).movi(R1, 0);
+    a.file("helper.c").at(7).movi(R2, 0);
+    a.file("main.c").at(2).halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.locString(0), "main.c:1");
+    EXPECT_EQ(p.locString(1), "helper.c:7");
+    EXPECT_EQ(p.locString(2), "main.c:2");
+}
+
+TEST(Assembler, LibraryCallCreatesLibrarySegment)
+{
+    Asm a("prog");
+    a.movi(R12, 0x1000);
+    a.callLib(LibFn::SpinLock);
+    a.callLib(LibFn::Unlock);
+    a.halt();
+    Program p = a.finalize();
+
+    ASSERT_EQ(p.segments.size(), 2u);
+    EXPECT_FALSE(p.segments[0].isLibrary);
+    EXPECT_TRUE(p.segments[1].isLibrary);
+    EXPECT_EQ(p.segments[0].begin, 0u);
+    EXPECT_EQ(p.segments[1].begin, p.segments[0].end);
+    EXPECT_EQ(p.segments[1].end, p.size());
+
+    // Call sites target the library segment.
+    EXPECT_EQ(p.code[1].op, Op::Call);
+    EXPECT_GE(p.code[1].target,
+              static_cast<std::int32_t>(p.segments[1].begin));
+    // The spin-lock CAS is marked as a lock acquire.
+    bool found_acquire = false;
+    for (std::uint32_t i = p.segments[1].begin; i < p.segments[1].end; ++i) {
+        if (p.code[i].op == Op::Cas &&
+                p.code[i].sync == SyncKind::LockAcquire) {
+            found_acquire = true;
+        }
+    }
+    EXPECT_TRUE(found_acquire);
+}
+
+TEST(Assembler, LibraryRoutineEmittedOncePerProgram)
+{
+    Asm a("prog");
+    a.movi(R12, 0x1000);
+    a.callLib(LibFn::TtsLock);
+    a.callLib(LibFn::TtsLock);
+    a.halt();
+    Program p = a.finalize();
+    // Both call sites share one routine body.
+    EXPECT_EQ(p.code[1].target, p.code[2].target);
+}
+
+TEST(Assembler, NoLibraryCallsMeansSingleSegment)
+{
+    Asm a("prog");
+    a.halt();
+    Program p = a.finalize();
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_FALSE(p.segments[0].isLibrary);
+}
+
+TEST(Program, ValidateAcceptsWellFormed)
+{
+    Asm a("prog");
+    Asm::Label l = a.newLabel();
+    a.movi(R1, 3);
+    a.bind(l);
+    a.subi(R1, R1, 1);
+    a.bne(R1, R0, l);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(Program, ValidateRejectsBadTarget)
+{
+    Asm a("prog");
+    a.movi(R1, 0);
+    a.halt();
+    Program p = a.finalize();
+    p.code[0].op = Op::Jmp;
+    p.code[0].target = 99;
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, ValidateRejectsBadAccessSize)
+{
+    Asm a("prog");
+    a.load(R1, R2, 0, 8);
+    a.halt();
+    Program p = a.finalize();
+    p.code[0].size = 3;
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, DisassembleMentionsOperands)
+{
+    Asm a("prog");
+    a.at(5).load(R1, R2, 16, 4);
+    a.store(R3, -8, R4, 8);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_NE(p.disassemble(0).find("load4 r1, [r2+16]"), std::string::npos);
+    EXPECT_NE(p.disassemble(0).find("main.c:5"), std::string::npos);
+    EXPECT_NE(p.disassemble(1).find("[r3-8]"), std::string::npos);
+    EXPECT_NE(p.disassembleAll().find("segment prog"), std::string::npos);
+}
+
+TEST(Program, SegmentOfFindsContainingSegment)
+{
+    Asm a("prog");
+    a.movi(R12, 0x1000);
+    a.callLib(LibFn::Unlock);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.segmentOf(0)->name, "prog");
+    EXPECT_TRUE(p.segmentOf(p.segments[1].begin)->isLibrary);
+    EXPECT_EQ(p.segmentOf(static_cast<std::uint32_t>(p.size())), nullptr);
+}
+
+TEST(OpPredicates, ClassifyMemoryOps)
+{
+    EXPECT_TRUE(opReadsMemory(Op::Load));
+    EXPECT_FALSE(opWritesMemory(Op::Load));
+    EXPECT_TRUE(opWritesMemory(Op::Store));
+    EXPECT_FALSE(opReadsMemory(Op::Store));
+    // RMW and atomics are both loads and stores (Section 4.3).
+    for (Op op : {Op::AddMem, Op::Cas, Op::FetchAdd}) {
+        EXPECT_TRUE(opReadsMemory(op));
+        EXPECT_TRUE(opWritesMemory(op));
+    }
+    EXPECT_TRUE(opIsFence(Op::Fence));
+    EXPECT_TRUE(opIsFence(Op::Cas));
+    EXPECT_FALSE(opIsFence(Op::Store));
+    EXPECT_TRUE(opIsCondBranch(Op::Beq));
+    EXPECT_FALSE(opIsCondBranch(Op::Jmp));
+    EXPECT_TRUE(opIsBranch(Op::Jmp));
+}
+
+TEST(Decode, LoadStoreSetsCountAndClassify)
+{
+    Asm a("prog");
+    a.load(R1, R2, 0, 4);   // load set
+    a.store(R2, 0, R1, 8);  // store set
+    a.addmem(R2, 8, R1, 4); // both sets
+    a.movi(R3, 7);          // neither
+    a.halt();
+    Program p = a.finalize();
+    LoadStoreSets sets(p);
+
+    EXPECT_EQ(sets.loadCount(), 2u);
+    EXPECT_EQ(sets.storeCount(), 2u);
+
+    EXPECT_TRUE(sets.lookup(0).isLoad);
+    EXPECT_FALSE(sets.lookup(0).isStore);
+    EXPECT_EQ(sets.lookup(0).size, 4);
+
+    EXPECT_TRUE(sets.lookup(1).isStore);
+    EXPECT_FALSE(sets.lookup(1).isLoad);
+
+    EXPECT_TRUE(sets.lookup(2).isLoad);
+    EXPECT_TRUE(sets.lookup(2).isStore);
+
+    EXPECT_FALSE(sets.lookup(3).isLoad);
+    EXPECT_FALSE(sets.lookup(3).isStore);
+    EXPECT_EQ(sets.lookup(999).size, 0);
+}
+
+} // namespace
+} // namespace laser::isa

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the PEBS monitor: SAV sampling, record imprecision
+ * distributions (the Figure 3 error model), buffering/interrupts and
+ * cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "mem/address_space.h"
+#include "pebs/monitor.h"
+#include "sim/hitm.h"
+#include "sim/timing.h"
+
+namespace laser::pebs {
+namespace {
+
+using namespace laser::isa;
+
+/** A program with a few hundred instructions to give PCs room to skid. */
+isa::Program
+mediumProgram()
+{
+    Asm a("pebsprog");
+    for (int i = 0; i < 100; ++i) {
+        a.at(i + 1);
+        a.load(R1, R2, 0, 8);
+        a.store(R2, 8, R1, 8);
+        a.addi(R3, R3, 1);
+    }
+    a.halt();
+    return a.finalize();
+}
+
+struct Fixture
+{
+    isa::Program prog = mediumProgram();
+    mem::AddressSpace space{prog, 4};
+    sim::TimingModel timing{};
+
+    sim::HitmEvent
+    event(std::uint32_t pc_index, std::uint64_t addr, bool load) const
+    {
+        sim::HitmEvent ev;
+        ev.core = 0;
+        ev.pcIndex = pc_index;
+        ev.vaddr = addr;
+        ev.accessSize = 8;
+        ev.isLoadUop = load;
+        ev.isStore = !load;
+        ev.cycle = 1000;
+        return ev;
+    }
+};
+
+TEST(Pebs, SavSamplesEveryNth)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 19;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 19 * 100; ++i)
+        mon.onHitm(f.event(3, 0x1000000, true));
+    mon.finish();
+    EXPECT_EQ(mon.stats().hitmEvents, 1900u);
+    EXPECT_EQ(mon.stats().samples, 100u);
+    EXPECT_EQ(mon.records().size(), 100u);
+}
+
+TEST(Pebs, SavZeroDisablesMonitoring)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 0;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(mon.onHitm(f.event(3, 0x1000000, true)), 0u);
+    mon.finish();
+    EXPECT_TRUE(mon.records().empty());
+    EXPECT_EQ(mon.stats().samples, 0u);
+}
+
+TEST(Pebs, SavOneSamplesEverything)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 500; ++i)
+        mon.onHitm(f.event(3, 0x1000000, true));
+    mon.finish();
+    EXPECT_EQ(mon.records().size(), 500u);
+}
+
+TEST(Pebs, LoadRecordsMatchFigure3Accuracy)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.keepGroundTruth = true;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+
+    const std::uint32_t true_pc_index = 30;
+    const std::uint64_t true_addr = 0x1000040;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mon.onHitm(f.event(true_pc_index, true_addr, true));
+    mon.finish();
+
+    int addr_ok = 0, pc_exact = 0, pc_adjacent = 0;
+    for (const PebsRecord &r : mon.records()) {
+        if (r.dataAddr == true_addr)
+            ++addr_ok;
+        const std::int64_t idx = f.space.pcToIndex(r.pc);
+        if (idx == true_pc_index)
+            ++pc_exact;
+        if (idx >= 0 && std::abs(idx - std::int64_t(true_pc_index)) <= 1)
+            ++pc_adjacent;
+    }
+    // Figure 3 RW averages: ~75% addresses, ~40% exact PCs, ~70%
+    // exact+adjacent PCs.
+    EXPECT_NEAR(double(addr_ok) / n, 0.75, 0.03);
+    EXPECT_NEAR(double(pc_exact) / n, 0.42, 0.03);
+    EXPECT_NEAR(double(pc_adjacent) / n, 0.72, 0.03);
+}
+
+TEST(Pebs, StoreRecordsAreImprecise)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.keepGroundTruth = true;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+
+    const std::uint32_t true_pc_index = 31;
+    const std::uint64_t true_addr = 0x1000040;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mon.onHitm(f.event(true_pc_index, true_addr, false));
+    mon.finish();
+
+    int addr_ok = 0, pc_adjacent = 0, pc_in_binary = 0;
+    for (const PebsRecord &r : mon.records()) {
+        if (r.dataAddr == true_addr)
+            ++addr_ok;
+        const std::int64_t idx = f.space.pcToIndex(r.pc);
+        if (idx >= 0)
+            ++pc_in_binary;
+        if (idx >= 0 && std::abs(idx - std::int64_t(true_pc_index)) <= 1)
+            ++pc_adjacent;
+    }
+    // WW records: data addresses mostly wrong, adjacent PCs ~34%, but
+    // >99% of wrong PCs still land in the binary.
+    EXPECT_LT(double(addr_ok) / n, 0.15);
+    EXPECT_NEAR(double(pc_adjacent) / n, 0.34, 0.04);
+    EXPECT_GT(double(pc_in_binary) / n, 0.97);
+}
+
+TEST(Pebs, WrongAddressesAreMostlyUnmapped)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.keepGroundTruth = true;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    const std::uint64_t true_addr = 0x1000040;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mon.onHitm(f.event(10, true_addr, false));
+    mon.finish();
+
+    int wrong = 0, unmapped = 0, stack = 0, kernel = 0;
+    for (const PebsRecord &r : mon.records()) {
+        if (r.dataAddr == true_addr)
+            continue;
+        ++wrong;
+        const auto kind = f.space.classify(r.dataAddr);
+        if (kind == mem::RegionKind::Unmapped)
+            ++unmapped;
+        else if (kind == mem::RegionKind::Stack)
+            ++stack;
+        else if (kind == mem::RegionKind::Kernel)
+            ++kernel;
+    }
+    ASSERT_GT(wrong, 0);
+    // "95% of incorrect data addresses are from unmapped parts of the
+    // address space, with the remainder split between the stack and the
+    // kernel" (Section 3.1).
+    EXPECT_NEAR(double(unmapped) / wrong, 0.95, 0.02);
+    EXPECT_GT(stack, 0);
+    EXPECT_GT(kernel, 0);
+}
+
+TEST(Pebs, BufferFullRaisesInterrupt)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.bufferCapacity = 8;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 33; ++i)
+        mon.onHitm(f.event(3, 0x1000000, true));
+    EXPECT_EQ(mon.stats().interrupts, 4u);  // 32 records drained
+    EXPECT_EQ(mon.records().size(), 32u);
+    mon.finish();                           // residual record
+    EXPECT_EQ(mon.records().size(), 33u);
+    EXPECT_GT(mon.stats().driverCycles, 0u);
+}
+
+TEST(Pebs, CostsChargedPerSampleAndInterrupt)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.bufferCapacity = 4;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 4; ++i)
+        total += mon.onHitm(f.event(3, 0x1000000, true));
+    // 4 assists + one PMI with per-record copy costs.
+    const std::uint64_t expected =
+        4ull * f.timing.pebsAssist + f.timing.pmiCost +
+        4ull * f.timing.driverPerRecord;
+    EXPECT_EQ(total, expected);
+    EXPECT_EQ(mon.stats().appCycles, expected);
+}
+
+TEST(Pebs, ChargeCostsOffMakesMonitoringFree)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 1;
+    cfg.chargeCosts = false;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(mon.onHitm(f.event(3, 0x1000000, true)), 0u);
+    EXPECT_EQ(mon.stats().appCycles, 0u);
+}
+
+TEST(Pebs, GroundTruthAlignsWithRecords)
+{
+    Fixture f;
+    PebsConfig cfg;
+    cfg.sav = 3;
+    cfg.keepGroundTruth = true;
+    PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+    for (int i = 0; i < 90; ++i)
+        mon.onHitm(f.event(7, 0x1000040, true));
+    mon.finish();
+    ASSERT_EQ(mon.records().size(), mon.truths().size());
+    for (const RecordTruth &t : mon.truths()) {
+        EXPECT_EQ(t.truePc, f.space.indexToPc(7));
+        EXPECT_EQ(t.trueAddr, 0x1000040u);
+        EXPECT_TRUE(t.isLoadUop);
+    }
+}
+
+TEST(Pebs, DeterministicForSameSeed)
+{
+    Fixture f;
+    auto run = [&] {
+        PebsConfig cfg;
+        cfg.sav = 1;
+        cfg.seed = 777;
+        PebsMonitor mon(f.space, f.prog.size(), f.timing, cfg);
+        for (int i = 0; i < 100; ++i)
+            mon.onHitm(f.event(3, 0x1000000, i % 2 == 0));
+        mon.finish();
+        return mon.records();
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].dataAddr, b[i].dataAddr);
+    }
+}
+
+} // namespace
+} // namespace laser::pebs

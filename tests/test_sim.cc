@@ -1,0 +1,684 @@
+/**
+ * @file
+ * Unit and property tests for the simulator: MESI outcomes and invariants,
+ * interpreter semantics, HITM generation, SSB behaviour and TSO
+ * visibility, and machine determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/coherence.h"
+#include "sim/machine.h"
+#include "sim/ssb.h"
+#include "util/rng.h"
+
+namespace laser::sim {
+namespace {
+
+using isa::Asm;
+using isa::LibFn;
+using isa::Op;
+using namespace laser::isa; // register names
+
+// ---------------------------------------------------------------------
+// CoherenceDirectory
+// ---------------------------------------------------------------------
+
+TEST(Coherence, FirstTouchIsMemMiss)
+{
+    CoherenceDirectory dir(4);
+    EXPECT_EQ(dir.access(0, 0x1000, false, true), AccessOutcome::MemMiss);
+    EXPECT_EQ(dir.access(1, 0x2000, true, false), AccessOutcome::MemMiss);
+}
+
+TEST(Coherence, RepeatAccessHits)
+{
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, false, true);
+    EXPECT_EQ(dir.access(0, 0x1000, false, true), AccessOutcome::L1Hit);
+    // E -> M silently on local write.
+    EXPECT_EQ(dir.access(0, 0x1000, true, false), AccessOutcome::L1Hit);
+    EXPECT_EQ(dir.access(0, 0x1000, true, false), AccessOutcome::L1Hit);
+}
+
+TEST(Coherence, RemoteReadOfModifiedIsHitmLoad)
+{
+    // Figure 1a: remote write then local read.
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, true, false);
+    EXPECT_EQ(dir.access(1, 0x1000, false, true), AccessOutcome::HitmLoad);
+    // After the HITM both cores share the line.
+    EXPECT_EQ(dir.access(0, 0x1000, false, true), AccessOutcome::L1Hit);
+    EXPECT_EQ(dir.access(1, 0x1000, false, true), AccessOutcome::L1Hit);
+}
+
+TEST(Coherence, RemoteWriteOfModifiedIsHitmStore)
+{
+    // Figure 1c: remote write then local write (pure store).
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, true, false);
+    EXPECT_EQ(dir.access(1, 0x1000, true, false), AccessOutcome::HitmStore);
+}
+
+TEST(Coherence, RmwOfRemoteModifiedIsHitmLoad)
+{
+    // An RMW contains a load uop, so its HITM is load-class and PEBS
+    // reports it precisely (Section 3.1).
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, true, false);
+    EXPECT_EQ(dir.access(1, 0x1000, true, true), AccessOutcome::HitmLoad);
+}
+
+TEST(Coherence, ReadSharedThenWriteIsUpgrade)
+{
+    // Figure 1b: remote read then local write.
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, false, true);
+    dir.access(1, 0x1000, false, true);
+    EXPECT_EQ(dir.access(0, 0x1000, true, false), AccessOutcome::Upgrade);
+    // The other core lost its copy; its next read is a HITM.
+    EXPECT_EQ(dir.access(1, 0x1000, false, true), AccessOutcome::HitmLoad);
+}
+
+TEST(Coherence, WriteToRemoteCleanIsRfoNotHitm)
+{
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, false, true); // E in core 0
+    EXPECT_EQ(dir.access(1, 0x1000, true, false), AccessOutcome::RfoShared);
+}
+
+TEST(Coherence, ReadReadSharingNeverHitms)
+{
+    CoherenceDirectory dir(4);
+    for (int c = 0; c < 4; ++c) {
+        const auto out = dir.access(c, 0x4000, false, true);
+        EXPECT_NE(out, AccessOutcome::HitmLoad);
+        EXPECT_NE(out, AccessOutcome::HitmStore);
+    }
+}
+
+TEST(Coherence, DistinctLinesAreIndependent)
+{
+    CoherenceDirectory dir(4);
+    dir.access(0, 0x1000, true, false);
+    EXPECT_EQ(dir.access(1, 0x1040, true, false), AccessOutcome::MemMiss);
+    EXPECT_EQ(dir.lineOf(0x1000), dir.lineOf(0x103f));
+    EXPECT_NE(dir.lineOf(0x1000), dir.lineOf(0x1040));
+}
+
+/** Property: MESI invariants hold under random access streams. */
+class CoherenceProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CoherenceProperty, InvariantsUnderRandomTraffic)
+{
+    laser::Rng rng(GetParam());
+    CoherenceDirectory dir(4);
+    for (int i = 0; i < 20000; ++i) {
+        const int core = static_cast<int>(rng.below(4));
+        const std::uint64_t addr = 0x1000 + rng.below(32) * 8;
+        const bool is_write = rng.chance(0.4);
+        const bool load_class = !is_write || rng.chance(0.5);
+        dir.access(core, addr, is_write, load_class);
+        if (i % 512 == 0)
+            ASSERT_TRUE(dir.checkInvariants()) << "iteration " << i;
+    }
+    EXPECT_TRUE(dir.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// SoftwareStoreBuffer
+// ---------------------------------------------------------------------
+
+TEST(Ssb, PutThenGetFull)
+{
+    SoftwareStoreBuffer ssb;
+    ssb.put(0x1000, 8, 0xdeadbeefcafef00dULL, 1);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(ssb.getFull(0x1000, 8, &v));
+    EXPECT_EQ(v, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(ssb.entryCount(), 1u);
+}
+
+TEST(Ssb, PartialOverlapIsNotFull)
+{
+    SoftwareStoreBuffer ssb;
+    ssb.put(0x1000, 4, 0xaabbccdd, 1);
+    std::uint64_t v = 0;
+    EXPECT_FALSE(ssb.getFull(0x1000, 8, &v));
+    EXPECT_TRUE(ssb.containsAny(0x1000, 8));
+    EXPECT_TRUE(ssb.getFull(0x1000, 4, &v));
+    EXPECT_EQ(v, 0xaabbccddu);
+}
+
+TEST(Ssb, MergeOverlaysBufferedBytes)
+{
+    SoftwareStoreBuffer ssb;
+    ssb.put(0x1002, 2, 0xbeef, 1);
+    const std::uint64_t merged =
+        ssb.merge(0x1000, 8, 0x1111111111111111ULL);
+    EXPECT_EQ(merged, 0x11111111beef1111ULL);
+}
+
+TEST(Ssb, UnalignedStoreSpansChunks)
+{
+    SoftwareStoreBuffer ssb;
+    ssb.put(0x1006, 4, 0xaabbccdd, 1); // crosses the 8-byte boundary
+    EXPECT_EQ(ssb.entryCount(), 2u);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(ssb.getFull(0x1006, 4, &v));
+    EXPECT_EQ(v, 0xaabbccddu);
+}
+
+TEST(Ssb, CoalescingKeepsLastValue)
+{
+    SoftwareStoreBuffer ssb;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        ssb.put(0x1000, 8, i, i + 1);
+    EXPECT_EQ(ssb.entryCount(), 1u); // space efficiency (Section 5.5)
+    EXPECT_EQ(ssb.totalPuts(), 1000u);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(ssb.getFull(0x1000, 8, &v));
+    EXPECT_EQ(v, 999u);
+    auto drained = ssb.drain();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].minSeq, 1u);
+    EXPECT_EQ(drained[0].maxSeq, 1000u);
+    EXPECT_TRUE(ssb.empty());
+}
+
+TEST(Ssb, FifoKeepsOneEntryPerStore)
+{
+    SoftwareStoreBuffer ssb(SsbMode::Fifo);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        ssb.put(0x1000, 8, i, i + 1);
+    EXPECT_EQ(ssb.entryCount(), 100u);
+    auto drained = ssb.drain();
+    EXPECT_EQ(drained.size(), 100u);
+    // Drained in program order.
+    EXPECT_EQ(drained.front().minSeq, 1u);
+    EXPECT_EQ(drained.back().minSeq, 100u);
+    EXPECT_TRUE(ssb.empty());
+}
+
+TEST(Ssb, DrainAppliesLatestBytes)
+{
+    SoftwareStoreBuffer ssb;
+    ssb.put(0x1000, 8, 0x1111111111111111ULL, 1);
+    ssb.put(0x1004, 4, 0x22222222u, 2);
+    auto drained = ssb.drain();
+    ASSERT_EQ(drained.size(), 1u);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(drained[0].bytes[i]) << (8 * i);
+    EXPECT_EQ(v, 0x2222222211111111ULL);
+    EXPECT_EQ(drained[0].validMask, 0xff);
+}
+
+// ---------------------------------------------------------------------
+// Machine execution
+// ---------------------------------------------------------------------
+
+/** Build a single-thread program where only thread 0 does work. */
+isa::Program
+tidGate(const std::function<void(Asm &)> &body)
+{
+    Asm a("t");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    body(a);
+    a.bind(done);
+    a.halt();
+    return a.finalize();
+}
+
+TEST(Machine, ArithmeticSemantics)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R2, 6);
+        a.movi(R3, 7);
+        a.mul(R4, R2, R3);   // 42
+        a.addi(R4, R4, 100); // 142
+        a.subi(R4, R4, 2);   // 140
+        a.shli(R5, R4, 1);   // 280
+        a.shri(R5, R5, 2);   // 70
+        a.xorr(R6, R4, R4);  // 0
+    });
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(0, R4), 140);
+    EXPECT_EQ(m.reg(0, R5), 70);
+    EXPECT_EQ(m.reg(0, R6), 0);
+}
+
+TEST(Machine, RegisterZeroIsHardwired)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R0, 999);
+        a.mov(R2, R0);
+    });
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(0, R2), 0);
+}
+
+TEST(Machine, LoadStoreRoundTrip)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R2, 0x1000100);
+        a.movi(R3, 0x1234);
+        a.store(R2, 0, R3, 8);
+        a.load(R4, R2, 0, 8);
+    });
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(0, R4), 0x1234);
+    EXPECT_EQ(m.memory().read(0x1000100, 8), 0x1234u);
+}
+
+TEST(Machine, LoopsTerminate)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R2, 100);
+        a.movi(R3, 0);
+        Asm::Label loop = a.here();
+        a.addi(R3, R3, 2);
+        a.subi(R2, R2, 1);
+        a.bne(R2, R0, loop);
+    });
+    Machine m(p);
+    MachineStats s = m.run();
+    EXPECT_EQ(m.reg(0, R3), 200);
+    EXPECT_FALSE(s.truncated);
+    EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(Machine, CasSucceedsAndFails)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R2, 0x1000200);
+        // CAS expecting 0: succeeds, writes 5.
+        a.movi(R4, 5);
+        a.cas(R4, R2, 0, R0);
+        a.mov(R5, R4); // old value (0)
+        // CAS expecting 0 again: fails (memory holds 5).
+        a.movi(R4, 9);
+        a.cas(R4, R2, 0, R0);
+        a.mov(R6, R4); // old value (5)
+    });
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(0, R5), 0);
+    EXPECT_EQ(m.reg(0, R6), 5);
+    EXPECT_EQ(m.memory().read(0x1000200, 8), 5u);
+}
+
+TEST(Machine, FetchAddAccumulates)
+{
+    isa::Program p = tidGate([](Asm &a) {
+        a.movi(R2, 0x1000300);
+        a.movi(R3, 10);
+        a.fetchadd(R4, R2, 0, R3); // old 0
+        a.fetchadd(R5, R2, 0, R3); // old 10
+    });
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(0, R4), 0);
+    EXPECT_EQ(m.reg(0, R5), 10);
+    EXPECT_EQ(m.memory().read(0x1000300, 8), 20u);
+}
+
+TEST(Machine, TidDistinguishesThreads)
+{
+    Asm a("t");
+    a.tid(R1);
+    a.movi(R2, 0x1000400);
+    a.muli(R3, R1, 8);
+    a.add(R2, R2, R3);
+    a.movi(R4, 1);
+    a.store(R2, 0, R4, 8);
+    a.halt();
+    Machine m(a.finalize());
+    m.run();
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(m.memory().read(0x1000400 + 8 * t, 8), 1u);
+}
+
+TEST(Machine, CallAndRetThroughLibrary)
+{
+    Asm a("t");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    a.movi(R12, 0x1000500);
+    a.callLib(LibFn::SpinLock);
+    a.movi(R2, 77);
+    a.callLib(LibFn::Unlock);
+    a.bind(done);
+    a.halt();
+    Machine m(a.finalize());
+    m.run();
+    EXPECT_EQ(m.reg(0, R2), 77);
+    // Lock released.
+    EXPECT_EQ(m.memory().read(0x1000500, 8), 0u);
+}
+
+TEST(Machine, BarrierReleasesAllThreads)
+{
+    Asm a("t");
+    // Barrier object at globals base: counter, generation, nthreads.
+    const std::uint64_t bar = 0x600000;
+    a.movi(R12, static_cast<std::int64_t>(bar));
+    a.callLib(LibFn::BarrierWait);
+    // After the barrier every thread bumps its own flag.
+    a.tid(R1);
+    a.movi(R2, 0x1000600);
+    a.muli(R3, R1, 8);
+    a.add(R2, R2, R3);
+    a.movi(R4, 1);
+    a.store(R2, 0, R4, 8);
+    a.halt();
+    isa::Program p = a.finalize();
+    Machine m(p);
+    m.memory().write(bar + 16, 8, 4); // nthreads
+    MachineStats s = m.run();
+    EXPECT_FALSE(s.truncated);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(m.memory().read(0x1000600 + 8 * t, 8), 1u);
+    EXPECT_EQ(s.syncOps, 4u); // one barrier arrival per thread
+}
+
+// ---------------------------------------------------------------------
+// HITM generation
+// ---------------------------------------------------------------------
+
+/** Sink that counts HITM events and remembers their flavour. */
+struct CountingSink : PmuSink
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t
+    onHitm(const HitmEvent &ev) override
+    {
+        if (ev.isLoadUop)
+            ++loads;
+        else
+            ++stores;
+        return 0;
+    }
+};
+
+/** Two threads ping-pong writes to the same line: write-write sharing. */
+isa::Program
+writeWriteSharing(int iters, std::int64_t addr0, std::int64_t addr1)
+{
+    Asm a("ww");
+    Asm::Label t1 = a.newLabel();
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.movi(R9, 1);
+    a.bne(R1, R0, t1);
+    // Thread 0 writes addr0.
+    a.movi(R2, addr0);
+    a.movi(R3, iters);
+    Asm::Label l0 = a.here();
+    a.store(R2, 0, R3, 8);
+    a.subi(R3, R3, 1);
+    a.bne(R3, R0, l0);
+    a.jmp(done);
+    // Thread 1 writes addr1.
+    a.bind(t1);
+    a.bne(R1, R9, done); // threads 2..3 idle
+    a.movi(R2, addr1);
+    a.movi(R3, iters);
+    Asm::Label l1 = a.here();
+    a.store(R2, 0, R3, 8);
+    a.subi(R3, R3, 1);
+    a.bne(R3, R0, l1);
+    a.bind(done);
+    a.halt();
+    return a.finalize();
+}
+
+TEST(Machine, FalseSharingGeneratesStoreHitms)
+{
+    // Two variables in one line: false sharing, pure stores.
+    CountingSink sink;
+    Machine m(writeWriteSharing(2000, 0x1000800, 0x1000808));
+    m.setPmuSink(&sink);
+    MachineStats s = m.run();
+    EXPECT_GT(s.hitmStores, 500u);
+    EXPECT_EQ(s.hitmLoads, sink.loads);
+    EXPECT_EQ(s.hitmStores, sink.stores);
+    EXPECT_GT(sink.stores, sink.loads);
+}
+
+TEST(Machine, PaddedVariablesGenerateNoHitms)
+{
+    // Same program, variables on distinct lines: padding fixed it.
+    CountingSink sink;
+    Machine m(writeWriteSharing(2000, 0x1000800, 0x1000880));
+    m.setPmuSink(&sink);
+    MachineStats s = m.run();
+    EXPECT_EQ(s.hitmTotal(), 0u);
+    EXPECT_EQ(sink.loads + sink.stores, 0u);
+}
+
+TEST(Machine, ContendedRunIsSlowerThanPadded)
+{
+    Machine contended(writeWriteSharing(5000, 0x1000800, 0x1000808));
+    Machine padded(writeWriteSharing(5000, 0x1000800, 0x1000880));
+    const auto slow = contended.run().cycles;
+    const auto fast = padded.run().cycles;
+    EXPECT_GT(slow, fast * 3 / 2); // contention costs real time
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        Machine m(writeWriteSharing(3000, 0x1000800, 0x1000808));
+        return m.run();
+    };
+    const MachineStats a = once();
+    const MachineStats b = once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hitmStores, b.hitmStores);
+    EXPECT_EQ(a.hitmLoads, b.hitmLoads);
+}
+
+// ---------------------------------------------------------------------
+// SSB execution in the machine
+// ---------------------------------------------------------------------
+
+/** Mark all memory ops in [first, last] as SSB users. */
+void
+markSsb(isa::Program &p, std::uint32_t first, std::uint32_t last)
+{
+    for (std::uint32_t i = first; i <= last; ++i) {
+        if (isa::opAccessesMemory(p.code[i].op))
+            p.code[i].useSsb = true;
+    }
+}
+
+TEST(Machine, SsbStoreInvisibleUntilFlush)
+{
+    Asm a("ssb");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    a.movi(R2, 0x1000900);
+    a.movi(R3, 42);
+    const std::uint32_t st = a.store(R2, 0, R3, 8);
+    const std::uint32_t ld = a.load(R4, R2, 0, 8); // must see 42 via SSB
+    a.bind(done);
+    a.halt();
+    isa::Program p = a.finalize();
+    markSsb(p, st, ld);
+
+    Machine m(p);
+    MachineStats s = m.run();
+    EXPECT_EQ(m.reg(0, R4), 42);           // store-to-load forwarding
+    EXPECT_EQ(s.ssbStores, 1u);
+    EXPECT_EQ(s.ssbLoadHits, 1u);
+    // run() drains buffers at exit, so memory is final.
+    EXPECT_EQ(m.memory().read(0x1000900, 8), 42u);
+}
+
+TEST(Machine, SsbFlushedAtFence)
+{
+    Asm a("ssb");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    a.movi(R2, 0x1000900);
+    a.movi(R3, 7);
+    const std::uint32_t st = a.store(R2, 0, R3, 8);
+    a.fence();
+    a.bind(done);
+    a.halt();
+    isa::Program p = a.finalize();
+    markSsb(p, st, st);
+
+    Machine m(p);
+    MachineStats s = m.run();
+    EXPECT_EQ(s.ssbFlushes, 1u);
+    EXPECT_EQ(m.memory().read(0x1000900, 8), 7u);
+}
+
+TEST(Machine, SsbPreemptiveFlushAtCapacity)
+{
+    Asm a("ssb");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    a.movi(R2, 0x1000900);
+    a.movi(R3, 1);
+    // 20 stores to distinct chunks: must pre-emptively flush at 8.
+    std::uint32_t first = 0, last = 0;
+    for (int i = 0; i < 20; ++i) {
+        const std::uint32_t idx = a.store(R2, i * 8, R3, 8);
+        if (i == 0)
+            first = idx;
+        last = idx;
+    }
+    a.bind(done);
+    a.halt();
+    isa::Program p = a.finalize();
+    markSsb(p, first, last);
+
+    Machine m(p);
+    MachineStats s = m.run();
+    EXPECT_GE(s.ssbFlushes, 2u);
+    EXPECT_LE(s.ssbMaxEntriesSeen, 9u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(m.memory().read(0x1000900 + 8 * i, 8), 1u);
+}
+
+TEST(Machine, SsbProgramMatchesPlainExecution)
+{
+    // Property: instrumenting a (single-threaded) region with the SSB
+    // must not change architectural results (Section 5.2).
+    auto build = [](bool instrument) {
+        Asm a("prop");
+        Asm::Label done = a.newLabel();
+        a.tid(R1);
+        a.bne(R1, R0, done);
+        a.movi(R2, 0x1000a00);
+        a.movi(R3, 50);
+        a.movi(R5, 0);
+        Asm::Label loop = a.here();
+        const std::uint32_t first = a.store(R2, 0, R5, 8);
+        a.addmem(R2, 8, R3, 8);
+        a.load(R4, R2, 8, 8);
+        const std::uint32_t last = a.load(R6, R2, 0, 8);
+        a.add(R5, R5, R4);
+        a.subi(R3, R3, 1);
+        a.bne(R3, R0, loop);
+        a.bind(done);
+        a.halt();
+        isa::Program p = a.finalize();
+        if (instrument)
+            markSsb(p, first, last);
+        return p;
+    };
+
+    Machine plain(build(false));
+    Machine ssb(build(true));
+    plain.run();
+    ssb.run();
+    EXPECT_EQ(plain.reg(0, R5), ssb.reg(0, R5));
+    EXPECT_EQ(plain.reg(0, R6), ssb.reg(0, R6));
+    EXPECT_EQ(plain.memory().read(0x1000a00, 8),
+              ssb.memory().read(0x1000a00, 8));
+    EXPECT_EQ(plain.memory().read(0x1000a08, 8),
+              ssb.memory().read(0x1000a08, 8));
+}
+
+TEST(Machine, TsoTraceGroupsAreContiguousAndOrdered)
+{
+    Asm a("tso");
+    Asm::Label done = a.newLabel();
+    a.tid(R1);
+    a.bne(R1, R0, done);
+    a.movi(R2, 0x1000b00);
+    a.movi(R3, 5);
+    std::uint32_t first = 0, last = 0;
+    Asm::Label loop = a.newLabel();
+    a.bind(loop);
+    first = a.store(R2, 0, R3, 8);
+    a.store(R2, 8, R3, 8);
+    last = a.store(R2, 16, R3, 8);
+    a.fence();
+    a.subi(R3, R3, 1);
+    a.bne(R3, R0, loop);
+    a.bind(done);
+    a.halt();
+    isa::Program p = a.finalize();
+    markSsb(p, first, last);
+
+    MachineConfig cfg;
+    cfg.recordTsoTrace = true;
+    Machine m(p, cfg);
+    m.run();
+
+    // Per-thread visibility groups must cover contiguous, increasing
+    // sequence ranges (TSO: stores become visible in program order, in
+    // atomic groups).
+    std::uint64_t prev_max[8] = {};
+    for (const TsoEvent &ev : m.tsoTrace()) {
+        ASSERT_LE(ev.minSeq, ev.maxSeq);
+        ASSERT_EQ(ev.minSeq, prev_max[ev.tid] + 1)
+            << "gap or reorder in thread " << ev.tid;
+        prev_max[ev.tid] = ev.maxSeq;
+    }
+}
+
+TEST(Machine, SheriffModeEliminatesHitms)
+{
+    MachineConfig cfg;
+    cfg.threadsAsProcesses = true;
+    Machine m(writeWriteSharing(2000, 0x1000800, 0x1000808), cfg);
+    MachineStats s = m.run();
+    EXPECT_EQ(s.hitmTotal(), 0u);
+}
+
+TEST(Machine, HeapPerturbationShiftsAllocations)
+{
+    isa::Program p = tidGate([](Asm &a) { a.nop(); });
+    MachineConfig cfg;
+    cfg.heapPerturbation = 48;
+    Machine native(p);
+    Machine shifted(p, cfg);
+    EXPECT_EQ(native.heap().alloc(64) % 64, 16u);
+    EXPECT_EQ(shifted.heap().alloc(64) % 64, 0u);
+}
+
+} // namespace
+} // namespace laser::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the util module: stats estimators, deterministic RNG and
+ * table/CSV rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace laser {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    // Geomean of normalized runtimes is insensitive to ordering.
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, TrimmedMeanDropsExtremes)
+{
+    // Paper methodology: mean of 10 runs after dropping min and max.
+    std::vector<double> xs = {100.0, 1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(trimmedMean(xs), 2.5);
+    // Small samples fall back to the plain mean.
+    EXPECT_DOUBLE_EQ(trimmedMean({5.0, 7.0}), 6.0);
+}
+
+TEST(Stats, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, StddevZeroForConstant)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(r.chance(0.0));
+        ASSERT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // The child is decoupled from the parent's subsequent outputs.
+    EXPECT_NE(child(), a());
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, PadsShortRows)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtTimes(1.19), "1.19x");
+    EXPECT_EQ(fmtPercent(0.02), "2.0%");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(12), "12");
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter w({"a", "b"});
+    w.addRow({"plain", "with,comma"});
+    w.addRow({"with\"quote", "multi\nline"});
+    const std::string out = w.render();
+    EXPECT_NE(out.find("a,b\n"), std::string::npos);
+    EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+} // namespace
+} // namespace laser

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Developer diagnostic: per-workload rates, overheads and detection
+ * output, used to calibrate the kernels against the paper's numbers.
+ * Not part of the bench suite.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.h"
+#include "core/experiment.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+using namespace laser;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> only;
+    for (int i = 1; i < argc; ++i)
+        only.push_back(argv[i]);
+
+    core::ExperimentRunner runner;
+    TablePrinter table({"workload", "cycles(M)", "sec", "hitm", "rate/s",
+                        "laserX", "vtuneX", "FN", "FP", "lines",
+                        "top-line", "top-rate", "type", "ts/fs",
+                        "repair"});
+
+    for (const auto &w : workloads::allWorkloads()) {
+        if (!only.empty()) {
+            bool match = false;
+            for (const auto &name : only)
+                match |= w.info.name == name;
+            if (!match)
+                continue;
+        }
+        core::RunResult native = runner.run(w, core::Scheme::Native);
+        core::RunResult laser = runner.run(w, core::Scheme::Laser);
+        core::RunResult vtune = runner.run(w, core::Scheme::VTune);
+
+        const double secs = native.seconds();
+        const double rate =
+            secs > 0 ? double(native.stats.hitmTotal()) / secs : 0;
+        core::AccuracyResult acc = core::evaluateAccuracy(
+            w.info, core::reportLocations(laser.detection));
+
+        std::string top_line = "-", top_rate = "-", top_type = "-";
+        if (!laser.detection.lines.empty()) {
+            top_line = laser.detection.lines[0].location;
+            top_rate = fmtDouble(laser.detection.lines[0].hitmRate, 0);
+            top_type = detect::contentionTypeName(
+                laser.detection.lines[0].type);
+        }
+        std::string top_tsfs = "-";
+        if (!laser.detection.lines.empty()) {
+            top_tsfs =
+                std::to_string(laser.detection.lines[0].tsEvents) + "/" +
+                std::to_string(laser.detection.lines[0].fsEvents);
+        }
+        std::string repair = "-";
+        if (laser.detection.repairRequested)
+            repair = laser.repairApplied
+                         ? "applied f=" +
+                               fmtDouble(laser.repairTriggerFraction, 2)
+                         : "declined: " + laser.plan.reason.substr(0, 28);
+
+        table.addRow({
+            w.info.name,
+            fmtDouble(double(native.runtimeCycles) / 1e6, 2),
+            fmtDouble(secs, 2),
+            fmtCount(native.stats.hitmTotal()),
+            fmtDouble(rate, 0),
+            fmtDouble(double(laser.runtimeCycles) /
+                          double(native.runtimeCycles), 3),
+            fmtDouble(double(vtune.runtimeCycles) /
+                          double(native.runtimeCycles), 2),
+            std::to_string(acc.falseNegatives),
+            std::to_string(acc.falsePositives),
+            std::to_string(laser.detection.lines.size()),
+            top_line,
+            top_rate,
+            top_type,
+            top_tsfs,
+            repair,
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    // Deep-dive when exactly one workload was requested: dump the first
+    // records so classification behaviour can be inspected.
+    if (only.size() == 1) {
+        const auto *w = workloads::findWorkload(only[0]);
+        if (!w)
+            return 1;
+        workloads::BuildOptions opt;
+        opt.heapPerturbation = 48;
+        workloads::WorkloadBuild build = w->build(opt);
+        sim::MachineConfig mc;
+        sim::Machine machine(std::move(build.program), mc);
+        build.applyTo(machine);
+        pebs::PebsConfig pc;
+        pc.sav = 19;
+        pc.keepGroundTruth = true;
+        pebs::PebsMonitor mon(machine.addressSpace(),
+                              machine.program().size(), mc.timing, pc);
+        machine.setPmuSink(&mon);
+        machine.run();
+        mon.finish();
+        std::printf("records=%zu\n", mon.records().size());
+        for (std::size_t i = 0; i < mon.records().size() && i < 40; ++i) {
+            const auto &r = mon.records()[i];
+            const auto &t = mon.truths()[i];
+            std::printf("  core=%d pc=%lld addr=%llx trueAddr=%llx "
+                        "load=%d\n",
+                        r.core,
+                        (long long)machine.addressSpace().pcToIndex(r.pc),
+                        (unsigned long long)r.dataAddr,
+                        (unsigned long long)t.trueAddr, t.isLoadUop);
+        }
+    }
+    return 0;
+}
