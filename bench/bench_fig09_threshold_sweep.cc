@@ -1,9 +1,10 @@
 /**
  * @file
  * Figure 9 reproduction: effect of the rate threshold on detection
- * accuracy. One monitored run per workload; the detector is re-run over
- * the same record stream for each threshold (the paper notes thresholds
- * can be adjusted offline without rerunning the program).
+ * accuracy. One monitored run per workload — captured once through the
+ * sweep runner's trace cache — and every sweep point is an offline
+ * detector replay over the stored record stream (the paper notes
+ * thresholds can be adjusted offline without rerunning the program).
  *
  * Paper shape: false positives fall steeply as the threshold rises
  * (log-scale x axis); false negatives appear only at high thresholds;
@@ -14,9 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "detect/detector.h"
-#include "pebs/monitor.h"
-#include "sim/machine.h"
+#include "core/sweep_runner.h"
 
 using namespace laser;
 
@@ -25,62 +24,44 @@ main()
 {
     bench::banner("Rate-threshold sensitivity", "Figure 9");
 
-    // Collect one monitored record stream per workload.
-    struct Captured
-    {
-        const workloads::WorkloadDef *def;
-        isa::Program program;
-        std::unique_ptr<sim::Machine> machine;
-        std::vector<pebs::PebsRecord> records;
-        std::uint64_t cycles = 0;
-    };
-    std::vector<Captured> captured;
-    sim::TimingModel timing;
-    for (const auto &w : workloads::allWorkloads()) {
-        Captured c;
-        c.def = &w;
-        workloads::BuildOptions opt;
-        opt.heapPerturbation = 48;
-        workloads::WorkloadBuild build = w.build(opt);
-        sim::MachineConfig mc;
-        c.machine = std::make_unique<sim::Machine>(
-            std::move(build.program), mc);
-        build.applyTo(*c.machine);
-        pebs::PebsConfig pc;
-        pc.sav = 19;
-        pebs::PebsMonitor mon(c.machine->addressSpace(),
-                              c.machine->program().size(), timing, pc);
-        c.machine->setPmuSink(&mon);
-        c.cycles = c.machine->run().cycles;
-        mon.finish();
-        c.records = mon.records();
-        captured.push_back(std::move(c));
-    }
+    std::vector<const workloads::WorkloadDef *> defs;
+    for (const auto &w : workloads::allWorkloads())
+        defs.push_back(&w);
+
+    const std::vector<double> thresholds = {32,   64,   128,  256,
+                                            512,  1000, 2000, 4000,
+                                            8000, 16000, 32000, 64000};
+
+    core::SweepRunner runner;
+    const core::ThresholdSweepResult sweep =
+        core::thresholdSweep(runner, defs, thresholds);
 
     TablePrinter table(
         {"threshold (HITM/s)", "false negatives", "false positives"});
-    const double thresholds[] = {32,   64,   128,  256,   512,   1000,
-                                 2000, 4000, 8000, 16000, 32000, 64000};
-    for (double thr : thresholds) {
-        int fn = 0, fp = 0;
-        for (Captured &c : captured) {
-            detect::DetectorConfig cfg;
-            cfg.rateThreshold = thr;
-            detect::Detector det(
-                c.machine->program(), c.machine->addressSpace(),
-                c.machine->addressSpace().renderProcMaps(), timing, cfg);
-            det.processAll(c.records);
-            detect::DetectionReport rep = det.finish(c.cycles);
-            core::AccuracyResult acc = core::evaluateAccuracy(
-                c.def->info, core::reportLocations(rep));
-            fn += acc.falseNegatives;
-            fp += acc.falsePositives;
-        }
-        std::string marker = thr == 1000 ? "  <- LASER default" : "";
-        table.addRow({fmtDouble(thr, 0) + marker, std::to_string(fn),
-                      std::to_string(fp)});
+    for (const core::ThresholdSweepRow &row : sweep.rows) {
+        std::string marker =
+            row.threshold == 1000 ? "  <- LASER default" : "";
+        table.addRow({fmtDouble(row.threshold, 0) + marker,
+                      std::to_string(row.falseNegatives),
+                      std::to_string(row.falsePositives)});
     }
     std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nTrace cache: %llu simulations for %zu workloads, "
+                "%zu sweep points served by detector replay "
+                "(%d workers).\n",
+                (unsigned long long)sweep.machineRuns, defs.size(),
+                sweep.replays, runner.workers());
+    std::printf("Timing: capture %.2fs (%.1fms/sim), replay %.2fs "
+                "(%.2fms/pass) -> replay speedup %.1fx vs "
+                "re-simulating each sweep point.\n",
+                sweep.captureSeconds,
+                1e3 * sweep.captureSeconds /
+                    double(sweep.machineRuns ? sweep.machineRuns : 1),
+                sweep.replaySeconds,
+                1e3 * sweep.replaySeconds /
+                    double(sweep.replays ? sweep.replays : 1),
+                sweep.replaySpeedup());
     std::printf("\nShape check (paper Fig. 9): FPs fall as the threshold "
                 "rises (log scale); FNs appear only at the high end; the "
                 "1K default sits in the flat valley.\n");

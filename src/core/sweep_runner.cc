@@ -1,0 +1,204 @@
+#include "core/sweep_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/accuracy.h"
+#include "trace/replay.h"
+
+namespace laser::core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+/**
+ * One cache slot. The once-flag coalesces concurrent captures of the
+ * same configuration: the first requester simulates (or loads from
+ * disk), everyone else blocks until the trace is ready.
+ */
+struct SweepRunner::Entry
+{
+    std::once_flag once;
+    std::shared_ptr<const trace::Trace> trace;
+};
+
+SweepRunner::SweepRunner() : SweepRunner(Config{}) {}
+
+SweepRunner::SweepRunner(Config cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.numWorkers)
+{
+    if (!cfg_.cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.cacheDir, ec);
+        // An unwritable directory degrades to cache misses, not errors.
+    }
+}
+
+std::string
+SweepRunner::cachePath(std::uint64_t key) const
+{
+    if (cfg_.cacheDir.empty())
+        return {};
+    return cfg_.cacheDir + "/" + hexKey(key) + trace::kTraceExtension;
+}
+
+std::shared_ptr<const trace::Trace>
+SweepRunner::loadOrRun(std::uint64_t key,
+                       const workloads::WorkloadDef &workload,
+                       const trace::CaptureOptions &opt)
+{
+    const std::string path = cachePath(key);
+    if (!path.empty()) {
+        trace::TraceReader reader;
+        if (reader.readFile(path) == trace::TraceStatus::Ok &&
+                trace::configHash(reader.trace().meta) == key) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.diskCacheHits;
+            return std::make_shared<trace::Trace>(reader.takeTrace());
+        }
+        // Missing, corrupt or stale cache file: fall through and rerun
+        // (the fresh capture overwrites it).
+    }
+
+    auto trace =
+        std::make_shared<trace::Trace>(trace::captureTrace(workload, opt));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.machineRuns;
+    }
+    if (!path.empty())
+        trace::writeTraceFile(*trace, path);
+    return trace;
+}
+
+std::shared_ptr<const trace::Trace>
+SweepRunner::capture(const workloads::WorkloadDef &workload,
+                     const trace::CaptureOptions &opt)
+{
+    const std::uint64_t key =
+        trace::configHash(trace::makeCaptureMeta(workload, opt));
+
+    std::shared_ptr<Entry> entry;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_ptr<Entry> &slot = cache_[key];
+        if (!slot) {
+            slot = std::make_shared<Entry>();
+            created = true;
+        }
+        entry = slot;
+    }
+    if (!created) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.memoryCacheHits;
+    }
+
+    std::call_once(entry->once,
+                   [&] { entry->trace = loadOrRun(key, workload, opt); });
+    return entry->trace;
+}
+
+SweepStats
+SweepRunner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+// ---------------------------------------------------------------------
+// Threshold sweep
+// ---------------------------------------------------------------------
+
+double
+ThresholdSweepResult::replaySpeedup() const
+{
+    if (machineRuns == 0 || replays == 0 || replaySeconds <= 0.0)
+        return 0.0;
+    const double per_sim = captureSeconds / double(machineRuns);
+    const double per_replay = replaySeconds / double(replays);
+    return per_replay > 0.0 ? per_sim / per_replay : 0.0;
+}
+
+ThresholdSweepResult
+thresholdSweep(SweepRunner &runner,
+               const std::vector<const workloads::WorkloadDef *> &defs,
+               const std::vector<double> &thresholds,
+               const trace::CaptureOptions &opt)
+{
+    ThresholdSweepResult result;
+    const std::size_t nw = defs.size();
+    const std::size_t nt = thresholds.size();
+    result.captures = nw;
+    result.replays = nw * nt;
+
+    const SweepStats before = runner.stats();
+
+    // Phase 1: one monitored simulation per workload (cache permitting),
+    // fanned across the pool, plus one replay environment each.
+    std::vector<std::shared_ptr<const trace::Trace>> traces(nw);
+    std::vector<std::unique_ptr<trace::TraceReplayer>> replayers(nw);
+    const auto capture_start = std::chrono::steady_clock::now();
+    runner.parallelFor(nw, [&](std::size_t i) {
+        traces[i] = runner.capture(*defs[i], opt);
+        replayers[i] = std::make_unique<trace::TraceReplayer>(*traces[i]);
+        if (!replayers[i]->ok())
+            throw std::runtime_error("thresholdSweep: " +
+                                     replayers[i]->error());
+    });
+    result.captureSeconds = secondsSince(capture_start);
+    result.machineRuns = runner.stats().machineRuns - before.machineRuns;
+
+    // Phase 2: every sweep point is a pure detector replay.
+    std::vector<std::vector<ThresholdSweepRow>> cells(
+        nt, std::vector<ThresholdSweepRow>(nw));
+    const auto replay_start = std::chrono::steady_clock::now();
+    runner.parallelFor(nw * nt, [&](std::size_t job) {
+        const std::size_t wi = job / nt;
+        const std::size_t ti = job % nt;
+        detect::DetectorConfig cfg;
+        cfg.rateThreshold = thresholds[ti];
+        cfg.sav = opt.sav;
+        const detect::DetectionReport report =
+            replayers[wi]->replay(cfg);
+        const AccuracyResult acc =
+            evaluateAccuracy(defs[wi]->info, reportLocations(report));
+        cells[ti][wi].falseNegatives = acc.falseNegatives;
+        cells[ti][wi].falsePositives = acc.falsePositives;
+    });
+    result.replaySeconds = secondsSince(replay_start);
+
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+        ThresholdSweepRow row;
+        row.threshold = thresholds[ti];
+        for (const ThresholdSweepRow &cell : cells[ti]) {
+            row.falseNegatives += cell.falseNegatives;
+            row.falsePositives += cell.falsePositives;
+        }
+        result.rows.push_back(row);
+    }
+    return result;
+}
+
+} // namespace laser::core

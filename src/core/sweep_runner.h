@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel sweep runner: fans (workload x scheme x config) experiment
+ * jobs across cores and serves monitored runs from a content-addressed
+ * trace cache — simulate once, replay many.
+ *
+ * A capture request is keyed by trace::configHash() of its full
+ * configuration. On a key hit the cached trace is returned without
+ * touching the machine simulator; misses run the simulation (at most
+ * once per key, even under concurrent requests) and populate the cache.
+ * With a cache directory configured, traces also persist across
+ * processes as <hash>.ltrace files, so a second sweep over the same
+ * configuration performs zero machine runs.
+ */
+
+#ifndef LASER_CORE_SWEEP_RUNNER_H
+#define LASER_CORE_SWEEP_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.h"
+#include "trace/capture.h"
+#include "trace/trace.h"
+#include "util/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace laser::core {
+
+/** Cache / execution counters (cumulative over the runner's lifetime). */
+struct SweepStats
+{
+    std::uint64_t machineRuns = 0;     ///< actual simulations executed
+    std::uint64_t memoryCacheHits = 0; ///< served from the in-memory cache
+    std::uint64_t diskCacheHits = 0;   ///< loaded from the cache directory
+};
+
+class SweepRunner
+{
+  public:
+    struct Config
+    {
+        /** Worker threads; 0 selects the hardware concurrency. */
+        int numWorkers = 0;
+        /** Trace cache directory; empty keeps the cache in memory only. */
+        std::string cacheDir;
+    };
+
+    SweepRunner();
+    explicit SweepRunner(Config cfg);
+
+    /**
+     * Capture (or fetch from cache) the monitored run of @p workload
+     * under @p opt. Concurrent requests for the same configuration are
+     * coalesced into a single simulation.
+     */
+    std::shared_ptr<const trace::Trace>
+    capture(const workloads::WorkloadDef &workload,
+            const trace::CaptureOptions &opt);
+
+    /** Fan fn(0..n-1) across the worker pool (blocking). */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        pool_.parallelFor(n, fn);
+    }
+
+    SweepStats stats() const;
+    int workers() const { return pool_.workers(); }
+    const Config &config() const { return cfg_; }
+
+    /** Cache-file path for a key (empty when no cacheDir is set). */
+    std::string cachePath(std::uint64_t key) const;
+
+  private:
+    struct Entry;
+
+    std::shared_ptr<const trace::Trace>
+    loadOrRun(std::uint64_t key, const workloads::WorkloadDef &workload,
+              const trace::CaptureOptions &opt);
+
+    Config cfg_;
+    util::ThreadPool pool_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache_;
+    SweepStats stats_;
+};
+
+/** One row of a threshold sweep: accuracy totals at one threshold. */
+struct ThresholdSweepRow
+{
+    double threshold = 0.0;
+    int falseNegatives = 0;
+    int falsePositives = 0;
+};
+
+/** Outcome + timing of a capture-once/replay-many threshold sweep. */
+struct ThresholdSweepResult
+{
+    std::vector<ThresholdSweepRow> rows;
+    /** Simulations this sweep actually ran (0 when fully cached). */
+    std::uint64_t machineRuns = 0;
+    std::size_t captures = 0; ///< capture requests (runs + cache hits)
+    std::size_t replays = 0;  ///< detector replays performed
+    double captureSeconds = 0.0;
+    double replaySeconds = 0.0;
+
+    /** Per-pass cost ratio: one simulation vs one detector replay. */
+    double replaySpeedup() const;
+};
+
+/**
+ * Figure 9 workhorse: capture each workload's monitored run once (in
+ * parallel, cache-served when possible), then replay the detector at
+ * every threshold and tally false negatives/positives against the
+ * known-bug database.
+ */
+ThresholdSweepResult
+thresholdSweep(SweepRunner &runner,
+               const std::vector<const workloads::WorkloadDef *> &defs,
+               const std::vector<double> &thresholds,
+               const trace::CaptureOptions &opt = {});
+
+} // namespace laser::core
+
+#endif // LASER_CORE_SWEEP_RUNNER_H

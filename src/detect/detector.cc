@@ -202,9 +202,13 @@ Detector::finish(std::uint64_t total_cycles)
             report.lines.push_back(std::move(lr));
     }
 
+    // Tie-break equal rates on location so the report order is stable
+    // across runs and identical between live and trace-replayed passes.
     std::sort(report.lines.begin(), report.lines.end(),
               [](const LineReport &a, const LineReport &b) {
-                  return a.hitmRate > b.hitmRate;
+                  if (a.hitmRate != b.hitmRate)
+                      return a.hitmRate > b.hitmRate;
+                  return a.location < b.location;
               });
 
     // PCs handed to LASERREPAIR: hot application-code PCs. Only memory

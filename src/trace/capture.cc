@@ -1,0 +1,54 @@
+#include "trace/capture.h"
+
+#include "pebs/monitor.h"
+#include "sim/machine.h"
+
+namespace laser::trace {
+
+TraceMeta
+makeCaptureMeta(const workloads::WorkloadDef &workload,
+                const CaptureOptions &opt)
+{
+    TraceMeta meta;
+    meta.workload = workload.info.name;
+    meta.scheme = opt.scheme;
+
+    meta.build.heapPerturbation = opt.heapShift;
+    meta.build.numThreads = opt.numThreads;
+    meta.build.inputSeed = opt.inputSeed;
+    meta.build.scale = opt.scale;
+
+    meta.machine.numCores = opt.numThreads;
+    meta.machine.timing = opt.timing;
+    meta.machine.seed = opt.machineSeed;
+    meta.machine.heapPerturbation = opt.heapShift;
+
+    meta.pebs.sav = opt.sav;
+    return meta;
+}
+
+Trace
+captureTrace(const workloads::WorkloadDef &workload,
+             const CaptureOptions &opt)
+{
+    Trace trace;
+    trace.meta = makeCaptureMeta(workload, opt);
+
+    workloads::WorkloadBuild build = workload.build(trace.meta.build);
+    sim::Machine machine(std::move(build.program), trace.meta.machine);
+    build.applyTo(machine);
+
+    pebs::PebsMonitor monitor(machine.addressSpace(),
+                              machine.program().size(), opt.timing,
+                              trace.meta.pebs);
+    machine.setPmuSink(&monitor);
+    trace.meta.stats = machine.run();
+    monitor.finish();
+
+    trace.meta.runtimeCycles = trace.meta.stats.cycles;
+    trace.meta.mapsText = machine.addressSpace().renderProcMaps();
+    trace.records = monitor.records();
+    return trace;
+}
+
+} // namespace laser::trace

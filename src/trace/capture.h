@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace capture: run one monitored simulation (the expensive part) and
+ * package the PEBS record stream + run metadata as a Trace.
+ *
+ * The defaults reproduce the monitored phase of the experiment harness's
+ * Laser schemes exactly (SAV 19, the fork/attach heap shift, the default
+ * machine seed), so a captured trace replayed through the detector yields
+ * the same DetectionReport as the in-process pipeline.
+ */
+
+#ifndef LASER_TRACE_CAPTURE_H
+#define LASER_TRACE_CAPTURE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/timing.h"
+#include "trace/trace.h"
+#include "workloads/workload.h"
+
+namespace laser::trace {
+
+/** Knobs of one capture run (everything else at system defaults). */
+struct CaptureOptions
+{
+    /** Sample-after value; 0 captures an unmonitored (native) run. */
+    std::uint32_t sav = 19;
+    std::uint64_t machineSeed = 0x1a5e2;
+    /** Heap shift of the LASER fork/attach; 0 for native baselines. */
+    std::uint64_t heapShift = 48;
+    int numThreads = 4;
+    std::uint64_t inputSeed = 0x5eed;
+    double scale = 1.0;
+    sim::TimingModel timing{};
+    /** Scheme label stored in the trace metadata. */
+    std::string scheme = "laser-detect";
+};
+
+/**
+ * Build the capture configuration section of a TraceMeta without
+ * running anything; configHash() of the result is the cache key.
+ */
+TraceMeta makeCaptureMeta(const workloads::WorkloadDef &workload,
+                          const CaptureOptions &opt);
+
+/** Run the monitored simulation and return the complete trace. */
+Trace captureTrace(const workloads::WorkloadDef &workload,
+                   const CaptureOptions &opt = {});
+
+} // namespace laser::trace
+
+#endif // LASER_TRACE_CAPTURE_H

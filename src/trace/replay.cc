@@ -1,0 +1,37 @@
+#include "trace/replay.h"
+
+namespace laser::trace {
+
+TraceReplayer::TraceReplayer(const Trace &trace) : trace_(&trace)
+{
+    const workloads::WorkloadDef *def =
+        workloads::findWorkload(trace.meta.workload);
+    if (!def) {
+        error_ = "unknown workload \"" + trace.meta.workload + "\"";
+        return;
+    }
+    workloads::WorkloadBuild build = def->build(trace.meta.build);
+    program_ = std::move(build.program);
+    space_ = std::make_unique<mem::AddressSpace>(
+        program_, trace.meta.machine.numCores);
+}
+
+detect::DetectionReport
+TraceReplayer::replay(const detect::DetectorConfig &cfg) const
+{
+    detect::Detector detector(program_, *space_, trace_->meta.mapsText,
+                              trace_->meta.machine.timing, cfg);
+    detector.processAll(trace_->records);
+    return detector.finish(trace_->meta.runtimeCycles);
+}
+
+detect::DetectionReport
+TraceReplayer::replayAtThreshold(double rate_threshold) const
+{
+    detect::DetectorConfig cfg;
+    cfg.rateThreshold = rate_threshold;
+    cfg.sav = trace_->meta.pebs.sav;
+    return replay(cfg);
+}
+
+} // namespace laser::trace

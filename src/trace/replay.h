@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace replay: re-run LASERDETECT over a captured record stream at any
+ * detector configuration, without re-simulating the machine.
+ *
+ * The replayer rebuilds the capture's program from the workload registry
+ * (workload builders are deterministic for fixed BuildOptions) and its
+ * address-space layout, then feeds the stored records through a fresh
+ * Detector. Replays are independent and const, so one replayer can serve
+ * many threshold points concurrently.
+ */
+
+#ifndef LASER_TRACE_REPLAY_H
+#define LASER_TRACE_REPLAY_H
+
+#include <memory>
+#include <string>
+
+#include "detect/detector.h"
+#include "isa/program.h"
+#include "mem/address_space.h"
+#include "trace/trace.h"
+
+namespace laser::trace {
+
+/**
+ * Rebuilt replay environment for one trace. The trace must outlive the
+ * replayer (it is read on every replay() call).
+ */
+class TraceReplayer
+{
+  public:
+    explicit TraceReplayer(const Trace &trace);
+
+    /** False when the trace's workload is unknown to this build. */
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Re-run the detector over the records at @p cfg. */
+    detect::DetectionReport replay(const detect::DetectorConfig &cfg) const;
+
+    /**
+     * Replay at a given rate threshold with every other detector knob at
+     * its default and the SAV taken from the capture configuration —
+     * the offline-threshold-adjustment use case of Section 4.
+     */
+    detect::DetectionReport replayAtThreshold(double rate_threshold) const;
+
+    const isa::Program &program() const { return program_; }
+    const mem::AddressSpace &space() const { return *space_; }
+
+  private:
+    const Trace *trace_;
+    isa::Program program_;
+    std::unique_ptr<mem::AddressSpace> space_;
+    std::string error_;
+};
+
+} // namespace laser::trace
+
+#endif // LASER_TRACE_REPLAY_H

@@ -1,0 +1,683 @@
+#include "trace/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace laser::trace {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 28; // magic + version + endian + hash + payload size
+constexpr std::size_t kTrailerSize = 8; // payload checksum
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size,
+      std::uint64_t h = 1469598103934665603ull)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Append-only little-endian/varint encoder over a caller's buffer. */
+struct ByteWriter
+{
+    std::vector<std::uint8_t> &buf;
+
+    explicit ByteWriter(std::vector<std::uint8_t> &b) : buf(b) {}
+
+    void u8(std::uint8_t v) { buf.push_back(v); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    var(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        buf.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void zig(std::int64_t v) { var(zigzagEncode(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        var(s.size());
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+};
+
+/** Bounds-checked decoder: any overrun latches ok=false, reads yield 0. */
+struct ByteReader
+{
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    bool ok = true;
+
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : p(data), end(data + size)
+    {
+    }
+
+    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+    std::uint8_t
+    u8()
+    {
+        if (p >= end) {
+            ok = false;
+            return 0;
+        }
+        return *p++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        if (remaining() < 4) {
+            ok = false;
+            p = end;
+            return 0;
+        }
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (remaining() < 8) {
+            ok = false;
+            p = end;
+            return 0;
+        }
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    var()
+    {
+        std::uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            if (p >= end) {
+                ok = false;
+                return 0;
+            }
+            const std::uint8_t byte = *p++;
+            // Reject the tenth byte carrying bits beyond the 64th, and
+            // non-canonical zero continuation bytes: both would parse
+            // "Ok" into a value that re-encodes to different bytes.
+            if ((shift == 63 && (byte & 0xfe)) ||
+                    (byte == 0 && shift > 0)) {
+                ok = false;
+                return 0;
+            }
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        ok = false; // > 10 bytes: malformed varint
+        return 0;
+    }
+
+    std::int64_t zig() { return zigzagDecode(var()); }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = var();
+        if (!ok || n > remaining()) {
+            ok = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(p),
+                      static_cast<std::size_t>(n));
+        p += n;
+        return s;
+    }
+};
+
+void
+putTiming(ByteWriter &w, const sim::TimingModel &t)
+{
+    w.var(t.base);
+    w.var(t.pauseCost);
+    w.var(t.fenceCost);
+    w.var(t.atomicExtra);
+    w.var(t.l1Hit);
+    w.var(t.llcHit);
+    w.var(t.memMiss);
+    w.var(t.hitm);
+    w.var(t.upgrade);
+    w.var(t.rfoShared);
+    w.var(t.ssbStore);
+    w.var(t.ssbLoadCheck);
+    w.var(t.ssbLoadHit);
+    w.var(t.ssbFlushBase);
+    w.var(t.aliasCheckCost);
+    w.var(t.pinBaseOverhead);
+    w.var(t.pinAttachCost);
+    w.var(t.pebsAssist);
+    w.var(t.pmiCost);
+    w.var(t.driverPerRecord);
+    w.var(t.detectorPerRecord);
+}
+
+void
+getTiming(ByteReader &r, sim::TimingModel *t)
+{
+    t->base = static_cast<std::uint32_t>(r.var());
+    t->pauseCost = static_cast<std::uint32_t>(r.var());
+    t->fenceCost = static_cast<std::uint32_t>(r.var());
+    t->atomicExtra = static_cast<std::uint32_t>(r.var());
+    t->l1Hit = static_cast<std::uint32_t>(r.var());
+    t->llcHit = static_cast<std::uint32_t>(r.var());
+    t->memMiss = static_cast<std::uint32_t>(r.var());
+    t->hitm = static_cast<std::uint32_t>(r.var());
+    t->upgrade = static_cast<std::uint32_t>(r.var());
+    t->rfoShared = static_cast<std::uint32_t>(r.var());
+    t->ssbStore = static_cast<std::uint32_t>(r.var());
+    t->ssbLoadCheck = static_cast<std::uint32_t>(r.var());
+    t->ssbLoadHit = static_cast<std::uint32_t>(r.var());
+    t->ssbFlushBase = static_cast<std::uint32_t>(r.var());
+    t->aliasCheckCost = static_cast<std::uint32_t>(r.var());
+    t->pinBaseOverhead = static_cast<std::uint32_t>(r.var());
+    t->pinAttachCost = r.var();
+    t->pebsAssist = static_cast<std::uint32_t>(r.var());
+    t->pmiCost = static_cast<std::uint32_t>(r.var());
+    t->driverPerRecord = static_cast<std::uint32_t>(r.var());
+    t->detectorPerRecord = static_cast<std::uint32_t>(r.var());
+}
+
+/** The hashed config section: workload identity + every knob that can
+ *  change the record stream or the modeled runtime. */
+void
+putConfig(ByteWriter &w, const TraceMeta &m)
+{
+    w.str(m.workload);
+    w.str(m.scheme);
+
+    const workloads::BuildOptions &b = m.build;
+    w.boolean(b.manualFix);
+    w.var(b.heapPerturbation);
+    w.zig(b.numThreads);
+    w.var(b.inputSeed);
+    w.f64(b.scale);
+
+    const sim::MachineConfig &mc = m.machine;
+    w.zig(mc.numCores);
+    putTiming(w, mc.timing);
+    w.var(mc.seed);
+    w.boolean(mc.latencyJitter);
+    w.var(mc.maxInstructions);
+    w.var(mc.heapPerturbation);
+    w.boolean(mc.threadsAsProcesses);
+    w.boolean(mc.trackDirtyPages);
+    w.zig(mc.ssbMaxEntries);
+    w.u8(static_cast<std::uint8_t>(mc.ssbMode));
+    w.boolean(mc.recordTsoTrace);
+
+    const pebs::PebsConfig &p = m.pebs;
+    w.var(p.sav);
+    w.var(p.bufferCapacity);
+    w.var(p.seed);
+    w.boolean(p.keepGroundTruth);
+    w.boolean(p.chargeCosts);
+    w.f64(p.loadAddrCorrect);
+    w.f64(p.loadPcExact);
+    w.f64(p.loadPcAdjacent);
+    w.f64(p.storeAddrCorrect);
+    w.f64(p.storePcExact);
+    w.f64(p.storePcAdjacent);
+    w.f64(p.wrongAddrUnmapped);
+    w.f64(p.wrongPcInBinary);
+}
+
+bool
+getConfig(ByteReader &r, TraceMeta *m, std::string *err)
+{
+    m->workload = r.str();
+    m->scheme = r.str();
+
+    workloads::BuildOptions &b = m->build;
+    b.manualFix = r.boolean();
+    b.heapPerturbation = r.var();
+    b.numThreads = static_cast<int>(r.zig());
+    b.inputSeed = r.var();
+    b.scale = r.f64();
+
+    sim::MachineConfig &mc = m->machine;
+    mc.numCores = static_cast<int>(r.zig());
+    getTiming(r, &mc.timing);
+    mc.seed = r.var();
+    mc.latencyJitter = r.boolean();
+    mc.maxInstructions = r.var();
+    mc.heapPerturbation = r.var();
+    mc.threadsAsProcesses = r.boolean();
+    mc.trackDirtyPages = r.boolean();
+    mc.ssbMaxEntries = static_cast<int>(r.zig());
+    const std::uint8_t mode = r.u8();
+    if (r.ok && mode > static_cast<std::uint8_t>(sim::SsbMode::Fifo)) {
+        *err = "invalid SSB mode " + std::to_string(mode);
+        return false;
+    }
+    mc.ssbMode = static_cast<sim::SsbMode>(mode);
+    mc.recordTsoTrace = r.boolean();
+
+    pebs::PebsConfig &p = m->pebs;
+    p.sav = static_cast<std::uint32_t>(r.var());
+    p.bufferCapacity = static_cast<std::uint32_t>(r.var());
+    p.seed = r.var();
+    p.keepGroundTruth = r.boolean();
+    p.chargeCosts = r.boolean();
+    p.loadAddrCorrect = r.f64();
+    p.loadPcExact = r.f64();
+    p.loadPcAdjacent = r.f64();
+    p.storeAddrCorrect = r.f64();
+    p.storePcExact = r.f64();
+    p.storePcAdjacent = r.f64();
+    p.wrongAddrUnmapped = r.f64();
+    p.wrongPcInBinary = r.f64();
+    return true;
+}
+
+void
+putVarVec(ByteWriter &w, const std::vector<std::uint64_t> &v)
+{
+    w.var(v.size());
+    for (std::uint64_t x : v)
+        w.var(x);
+}
+
+bool
+getVarVec(ByteReader &r, std::vector<std::uint64_t> *v)
+{
+    const std::uint64_t n = r.var();
+    // Each element takes >= 1 byte, so n can never exceed the bytes left;
+    // this bounds the reserve against allocation-bomb counts.
+    if (!r.ok || n > r.remaining()) {
+        r.ok = false;
+        return false;
+    }
+    v->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok; ++i)
+        v->push_back(r.var());
+    return r.ok;
+}
+
+void
+putResults(ByteWriter &w, const TraceMeta &m)
+{
+    const sim::MachineStats &s = m.stats;
+    w.var(s.cycles);
+    w.var(s.instructions);
+    w.var(s.loads);
+    w.var(s.stores);
+    w.var(s.atomics);
+    w.var(s.l1Hits);
+    w.var(s.llcHits);
+    w.var(s.memMisses);
+    w.var(s.upgrades);
+    w.var(s.rfos);
+    w.var(s.hitmLoads);
+    w.var(s.hitmStores);
+    w.var(s.syncOps);
+    w.var(s.ssbStores);
+    w.var(s.ssbLoadHits);
+    w.var(s.ssbFlushes);
+    w.var(s.ssbFlushedEntries);
+    w.var(s.ssbMaxEntriesSeen);
+    w.var(s.aliasChecks);
+    w.var(s.aliasMisspecs);
+    w.boolean(s.truncated);
+    putVarVec(w, s.threadCycles);
+    putVarVec(w, s.threadInstructions);
+    w.var(m.runtimeCycles);
+    w.str(m.mapsText);
+}
+
+void
+getResults(ByteReader &r, TraceMeta *m)
+{
+    sim::MachineStats &s = m->stats;
+    s.cycles = r.var();
+    s.instructions = r.var();
+    s.loads = r.var();
+    s.stores = r.var();
+    s.atomics = r.var();
+    s.l1Hits = r.var();
+    s.llcHits = r.var();
+    s.memMisses = r.var();
+    s.upgrades = r.var();
+    s.rfos = r.var();
+    s.hitmLoads = r.var();
+    s.hitmStores = r.var();
+    s.syncOps = r.var();
+    s.ssbStores = r.var();
+    s.ssbLoadHits = r.var();
+    s.ssbFlushes = r.var();
+    s.ssbFlushedEntries = r.var();
+    s.ssbMaxEntriesSeen = r.var();
+    s.aliasChecks = r.var();
+    s.aliasMisspecs = r.var();
+    s.truncated = r.boolean();
+    getVarVec(r, &s.threadCycles);
+    getVarVec(r, &s.threadInstructions);
+    m->runtimeCycles = r.var();
+    m->mapsText = r.str();
+}
+
+void
+putRecordDelta(ByteWriter &w, const pebs::PebsRecord &rec,
+               const pebs::PebsRecord &prev)
+{
+    w.zig(static_cast<std::int64_t>(rec.pc - prev.pc));
+    w.zig(static_cast<std::int64_t>(rec.dataAddr - prev.dataAddr));
+    w.var(static_cast<std::uint64_t>(rec.core));
+    w.zig(static_cast<std::int64_t>(rec.cycle - prev.cycle));
+}
+
+} // namespace
+
+const char *
+traceStatusName(TraceStatus status)
+{
+    switch (status) {
+      case TraceStatus::Ok:            return "ok";
+      case TraceStatus::IoError:       return "io error";
+      case TraceStatus::BadMagic:      return "bad magic";
+      case TraceStatus::BadVersion:    return "version mismatch";
+      case TraceStatus::BadEndianness: return "endianness mismatch";
+      case TraceStatus::Truncated:     return "truncated";
+      case TraceStatus::Corrupt:       return "corrupt";
+    }
+    return "???";
+}
+
+std::uint64_t
+configHash(const TraceMeta &meta)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.u32(kTraceVersion);
+    putConfig(w, meta);
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(TraceMeta meta) : meta_(std::move(meta)) {}
+
+void
+TraceWriter::append(const pebs::PebsRecord &rec)
+{
+    // Encodes straight into the member buffer: no per-record allocation.
+    ByteWriter w(recordBytes_);
+    putRecordDelta(w, rec, prev_);
+    prev_ = rec;
+    ++recordCount_;
+}
+
+void
+TraceWriter::appendAll(const std::vector<pebs::PebsRecord> &recs)
+{
+    for (const pebs::PebsRecord &rec : recs)
+        append(rec);
+}
+
+std::vector<std::uint8_t>
+TraceWriter::finalize() const
+{
+    std::vector<std::uint8_t> payload_bytes;
+    ByteWriter payload(payload_bytes);
+    putConfig(payload, meta_);
+    putResults(payload, meta_);
+    payload.var(recordCount_);
+    payload_bytes.insert(payload_bytes.end(), recordBytes_.begin(),
+                         recordBytes_.end());
+
+    std::vector<std::uint8_t> out_bytes;
+    ByteWriter out(out_bytes);
+    out_bytes.reserve(kHeaderSize + payload_bytes.size() + kTrailerSize);
+    out_bytes.insert(out_bytes.end(), kTraceMagic, kTraceMagic + 4);
+    out.u32(kTraceVersion);
+    out.u32(kTraceEndianMarker);
+    out.u64(configHash(meta_));
+    out.u64(payload_bytes.size());
+    out_bytes.insert(out_bytes.end(), payload_bytes.begin(),
+                     payload_bytes.end());
+    out.u64(fnv1a(payload_bytes.data(), payload_bytes.size()));
+    return out_bytes;
+}
+
+TraceStatus
+TraceWriter::writeFile(const std::string &path) const
+{
+    const std::vector<std::uint8_t> bytes = finalize();
+    // Unique temp name: concurrent writers of the same cache file (two
+    // sweeps sharing a cache directory) must not clobber each other's
+    // in-progress image before the atomic rename.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = path + ".tmp" +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(counter.fetch_add(1));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return TraceStatus::IoError;
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !closed ||
+            std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return TraceStatus::IoError;
+    }
+    return TraceStatus::Ok;
+}
+
+TraceStatus
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    TraceWriter writer(trace.meta);
+    writer.appendAll(trace.records);
+    return writer.writeFile(path);
+}
+
+// ---------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------
+
+TraceStatus
+TraceReader::fail(TraceStatus status, std::string detail)
+{
+    trace_ = {};
+    error_ = std::move(detail);
+    return status;
+}
+
+TraceStatus
+TraceReader::parse(const std::uint8_t *data, std::size_t size)
+{
+    trace_ = {};
+    error_.clear();
+
+    if (size < kHeaderSize + kTrailerSize)
+        return fail(TraceStatus::Truncated,
+                    "file shorter than header + trailer (" +
+                        std::to_string(size) + " bytes)");
+    if (std::memcmp(data, kTraceMagic, 4) != 0)
+        return fail(TraceStatus::BadMagic, "magic bytes are not \"LSRT\"");
+
+    ByteReader header(data + 4, kHeaderSize - 4);
+    const std::uint32_t version = header.u32();
+    if (version != kTraceVersion)
+        return fail(TraceStatus::BadVersion,
+                    "trace version " + std::to_string(version) +
+                        ", reader supports " +
+                        std::to_string(kTraceVersion));
+    const std::uint32_t endian = header.u32();
+    if (endian != kTraceEndianMarker)
+        return fail(TraceStatus::BadEndianness,
+                    "endianness marker mismatch (foreign-endian writer?)");
+    const std::uint64_t stored_hash = header.u64();
+    const std::uint64_t payload_size = header.u64();
+
+    if (payload_size > size - kHeaderSize - kTrailerSize)
+        return fail(TraceStatus::Truncated,
+                    "payload declares " + std::to_string(payload_size) +
+                        " bytes but only " +
+                        std::to_string(size - kHeaderSize - kTrailerSize) +
+                        " present");
+    if (payload_size < size - kHeaderSize - kTrailerSize)
+        return fail(TraceStatus::Corrupt,
+                    "trailing bytes after payload + checksum");
+
+    const std::uint8_t *payload = data + kHeaderSize;
+    ByteReader trailer(payload + payload_size, kTrailerSize);
+    const std::uint64_t stored_sum = trailer.u64();
+    const std::uint64_t actual_sum =
+        fnv1a(payload, static_cast<std::size_t>(payload_size));
+    if (stored_sum != actual_sum)
+        return fail(TraceStatus::Corrupt, "payload checksum mismatch");
+
+    ByteReader r(payload, static_cast<std::size_t>(payload_size));
+    std::string config_err;
+    if (!getConfig(r, &trace_.meta, &config_err)) {
+        if (!r.ok)
+            return fail(TraceStatus::Truncated,
+                        "config section ends mid-structure");
+        return fail(TraceStatus::Corrupt, config_err);
+    }
+    if (!r.ok)
+        return fail(TraceStatus::Truncated,
+                    "config section ends mid-structure");
+    getResults(r, &trace_.meta);
+    if (!r.ok)
+        return fail(TraceStatus::Truncated,
+                    "results section ends mid-structure");
+
+    const std::uint64_t count = r.var();
+    // Every record occupies at least 4 payload bytes (4 varint fields),
+    // which bounds the reserve below against allocation-bomb counts.
+    if (!r.ok || count > r.remaining() / 4)
+        return fail(TraceStatus::Truncated,
+                    "record count exceeds remaining payload");
+    trace_.records.reserve(static_cast<std::size_t>(count));
+    pebs::PebsRecord prev{};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        pebs::PebsRecord rec;
+        rec.pc = prev.pc + static_cast<std::uint64_t>(r.zig());
+        rec.dataAddr = prev.dataAddr + static_cast<std::uint64_t>(r.zig());
+        rec.core = static_cast<int>(r.var());
+        rec.cycle = prev.cycle + static_cast<std::uint64_t>(r.zig());
+        if (!r.ok)
+            return fail(TraceStatus::Truncated,
+                        "record stream ends mid-record at index " +
+                            std::to_string(i));
+        trace_.records.push_back(rec);
+        prev = rec;
+    }
+    if (r.remaining() != 0)
+        return fail(TraceStatus::Corrupt,
+                    std::to_string(r.remaining()) +
+                        " unconsumed payload bytes after records");
+
+    if (configHash(trace_.meta) != stored_hash)
+        return fail(TraceStatus::Corrupt,
+                    "header config hash does not match config section");
+    return TraceStatus::Ok;
+}
+
+TraceStatus
+TraceReader::parse(const std::vector<std::uint8_t> &bytes)
+{
+    return parse(bytes.data(), bytes.size());
+}
+
+TraceStatus
+TraceReader::readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        trace_ = {};
+        error_ = "cannot open " + path;
+        return TraceStatus::IoError;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        trace_ = {};
+        error_ = "read error on " + path;
+        return TraceStatus::IoError;
+    }
+    return parse(bytes);
+}
+
+} // namespace laser::trace

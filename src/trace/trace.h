@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Durable PEBS trace format: capture a monitored run once, replay the
+ * detector many times.
+ *
+ * The paper stresses that LASERDETECT's thresholds are "adjustable
+ * offline without rerunning the program" (Section 4); this module makes
+ * that literal. A trace file persists everything a detector replay
+ * needs: the capture configuration (workload + build options + machine +
+ * PEBS monitor configuration), the run's results (machine statistics,
+ * runtime, the rendered /proc maps text) and the full record stream in
+ * driver-delivery order.
+ *
+ * File layout (all multi-byte header/trailer fields little-endian):
+ *
+ *   offset  size  field
+ *   0       4     magic "LSRT"
+ *   4       4     u32 format version (kTraceVersion)
+ *   8       4     u32 endianness marker (kTraceEndianMarker)
+ *   12      8     u64 config hash (cache key; FNV-1a of config section)
+ *   20      8     u64 payload size in bytes
+ *   28      n     payload: config section, results section, records
+ *   28+n    8     u64 FNV-1a checksum of the payload
+ *
+ * Within the payload, integers are LEB128 varints (signed values
+ * zigzag-encoded), doubles are fixed 8-byte IEEE bit patterns, strings
+ * are length-prefixed. Records are delta-encoded against the previous
+ * record (pc / data address / cycle as zigzag deltas), which compresses
+ * the hot-loop streams the monitor produces by roughly 4-6x over raw
+ * structs.
+ *
+ * Parsing is strict: wrong magic, foreign endianness, unknown version,
+ * short files and checksum/hash mismatches each yield a typed
+ * TraceStatus, never undefined behaviour. A trace that parses Ok
+ * round-trips byte-exactly.
+ */
+
+#ifndef LASER_TRACE_TRACE_H
+#define LASER_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pebs/monitor.h"
+#include "pebs/record.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace laser::trace {
+
+constexpr std::uint32_t kTraceVersion = 1;
+constexpr char kTraceMagic[4] = {'L', 'S', 'R', 'T'};
+constexpr std::uint32_t kTraceEndianMarker = 0x01020304;
+/** Canonical trace-file extension (also used by the sweep cache). */
+constexpr const char *kTraceExtension = ".ltrace";
+
+/** Typed outcome of every trace parse/IO operation. */
+enum class TraceStatus : std::uint8_t {
+    Ok,
+    IoError,       ///< file unreadable/unwritable
+    BadMagic,      ///< not a LASER trace
+    BadVersion,    ///< produced by an incompatible format version
+    BadEndianness, ///< produced on a foreign-endian machine
+    Truncated,     ///< stream ends mid-structure
+    Corrupt,       ///< checksum/hash mismatch or malformed content
+};
+
+/** Printable name of a status ("ok", "bad magic", ...). */
+const char *traceStatusName(TraceStatus status);
+
+/** Run metadata persisted with every trace. */
+struct TraceMeta
+{
+    // -- Capture configuration; participates in configHash(). ---------
+    /** Registered workload name (replay rebuilds the program from it). */
+    std::string workload;
+    /** Scheme label ("laser-detect", ...); bookkeeping only. */
+    std::string scheme = "laser-detect";
+    workloads::BuildOptions build{};
+    sim::MachineConfig machine{};
+    pebs::PebsConfig pebs{};
+
+    // -- Capture results; not hashed. ---------------------------------
+    sim::MachineStats stats{};
+    /** Modeled wall-clock runtime of the monitored run, cycles. */
+    std::uint64_t runtimeCycles = 0;
+    /** The /proc/<pid>/maps text the detector's PC filter parses. */
+    std::string mapsText;
+};
+
+/**
+ * Content hash of a capture configuration: the cache key under which a
+ * trace is stored. Computable before running anything (only the config
+ * section of @p meta is read), and stored in the file header so a cache
+ * can index traces without decoding payloads.
+ */
+std::uint64_t configHash(const TraceMeta &meta);
+
+/** A decoded trace: metadata + records in driver-delivery order. */
+struct Trace
+{
+    TraceMeta meta;
+    std::vector<pebs::PebsRecord> records;
+};
+
+/**
+ * Streaming trace encoder.
+ *
+ * @code
+ *   TraceWriter w(meta);
+ *   w.appendAll(monitor.records());
+ *   w.writeFile("run.ltrace");
+ * @endcode
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(TraceMeta meta);
+
+    /** Append one record (delta-encoded immediately). */
+    void append(const pebs::PebsRecord &rec);
+    void appendAll(const std::vector<pebs::PebsRecord> &recs);
+
+    /** Complete file image: header + payload + checksum trailer. */
+    std::vector<std::uint8_t> finalize() const;
+
+    /** Write the file image atomically (temp file + rename). */
+    TraceStatus writeFile(const std::string &path) const;
+
+    const TraceMeta &meta() const { return meta_; }
+    std::size_t recordCount() const { return recordCount_; }
+
+  private:
+    TraceMeta meta_;
+    std::vector<std::uint8_t> recordBytes_;
+    std::size_t recordCount_ = 0;
+    pebs::PebsRecord prev_{};
+};
+
+/** Convenience: encode and write a whole trace. */
+TraceStatus writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Strict trace decoder. All entry points return a TraceStatus; trace()
+ * is only meaningful after an Ok parse. error() carries a human-readable
+ * detail string for every failure.
+ */
+class TraceReader
+{
+  public:
+    TraceStatus parse(const std::uint8_t *data, std::size_t size);
+    TraceStatus parse(const std::vector<std::uint8_t> &bytes);
+    TraceStatus readFile(const std::string &path);
+
+    const Trace &trace() const { return trace_; }
+    /** Move the parsed trace out (reader resets to empty). */
+    Trace takeTrace() { return std::move(trace_); }
+    /** Detail message for the last non-Ok status ("" after Ok). */
+    const std::string &error() const { return error_; }
+
+  private:
+    TraceStatus fail(TraceStatus status, std::string detail);
+
+    Trace trace_;
+    std::string error_;
+};
+
+} // namespace laser::trace
+
+#endif // LASER_TRACE_TRACE_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool with a blocking parallelFor primitive,
+ * used by the sweep runner to fan experiment jobs across cores.
+ *
+ * The calling thread participates in draining the queue while it waits,
+ * so a pool of N workers applies N+1 threads to a batch and nested
+ * parallelFor calls cannot deadlock.
+ */
+
+#ifndef LASER_UTIL_THREAD_POOL_H
+#define LASER_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laser::util {
+
+class ThreadPool
+{
+  public:
+    /** @p workers 0 selects the hardware concurrency. */
+    explicit ThreadPool(int workers = 0)
+    {
+        int n = workers > 0
+                    ? workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+        if (n < 1)
+            n = 1;
+        threads_.reserve(n);
+        for (int i = 0; i < n; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool; blocks until every call has
+     * completed. The first exception thrown by any call is rethrown here
+     * (after the whole batch has drained).
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+
+        struct Batch
+        {
+            std::mutex mu;
+            std::condition_variable done;
+            std::size_t remaining;
+            std::exception_ptr error;
+        };
+        auto batch = std::make_shared<Batch>();
+        batch->remaining = n;
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (std::size_t i = 0; i < n; ++i) {
+                // fn is captured by reference: parallelFor does not
+                // return until every task has finished running it.
+                queue_.push_back([batch, &fn, i] {
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lk(batch->mu);
+                        if (!batch->error)
+                            batch->error = std::current_exception();
+                    }
+                    std::lock_guard<std::mutex> lk(batch->mu);
+                    if (--batch->remaining == 0)
+                        batch->done.notify_all();
+                });
+            }
+        }
+        cv_.notify_all();
+
+        // Help drain until nothing is queued, then wait for stragglers.
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!queue_.empty()) {
+                    task = std::move(queue_.front());
+                    queue_.pop_front();
+                }
+            }
+            if (task) {
+                task();
+                continue;
+            }
+            break;
+        }
+        {
+            std::unique_lock<std::mutex> lk(batch->mu);
+            batch->done.wait(lk, [&] { return batch->remaining == 0; });
+            if (batch->error)
+                std::rethrow_exception(batch->error);
+        }
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+};
+
+} // namespace laser::util
+
+#endif // LASER_UTIL_THREAD_POOL_H

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the trace capture/replay subsystem and the parallel sweep
+ * runner: byte-exact round-trips, strict rejection of malformed files,
+ * replay fidelity against the in-process pipeline, and cache-hit
+ * behaviour (a repeated sweep performs zero machine runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/experiment.h"
+#include "core/sweep_runner.h"
+#include "trace/capture.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+
+namespace laser::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Synthetic trace exercising negative deltas and large values. */
+Trace
+syntheticTrace()
+{
+    Trace t;
+    t.meta.workload = "kmeans";
+    t.meta.scheme = "laser-detect";
+    t.meta.build.heapPerturbation = 48;
+    t.meta.pebs.sav = 19;
+    t.meta.stats.cycles = 123456;
+    t.meta.stats.hitmLoads = 77;
+    t.meta.stats.threadCycles = {100, 200, 300, 400};
+    t.meta.stats.threadInstructions = {10, 20, 30, 40};
+    t.meta.runtimeCycles = 123456;
+    t.meta.mapsText = "00400000-00410000 r-xp 00000000 00:00 1  /app/kmeans\n";
+
+    pebs::PebsRecord r;
+    r.pc = 0x400100;
+    r.dataAddr = 0x1000040;
+    r.core = 2;
+    r.cycle = 5000;
+    t.records.push_back(r);
+    r.pc = 0x400080;                      // negative pc delta
+    r.dataAddr = 0xffff'8000'0000'0100ULL; // huge positive addr delta
+    r.core = 0;
+    r.cycle = 4900;                       // out-of-order cycle
+    t.records.push_back(r);
+    r.pc = 0x400084;
+    r.dataAddr = 0x70000010;              // negative addr delta
+    r.core = 3;
+    r.cycle = 90000;
+    t.records.push_back(r);
+    return t;
+}
+
+std::vector<std::uint8_t>
+encode(const Trace &t)
+{
+    TraceWriter writer(t.meta);
+    writer.appendAll(t.records);
+    return writer.finalize();
+}
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    EXPECT_EQ(a.meta.workload, b.meta.workload);
+    EXPECT_EQ(a.meta.scheme, b.meta.scheme);
+    EXPECT_EQ(a.meta.build.heapPerturbation, b.meta.build.heapPerturbation);
+    EXPECT_EQ(a.meta.build.numThreads, b.meta.build.numThreads);
+    EXPECT_EQ(a.meta.build.inputSeed, b.meta.build.inputSeed);
+    EXPECT_EQ(a.meta.build.scale, b.meta.build.scale);
+    EXPECT_EQ(a.meta.machine.seed, b.meta.machine.seed);
+    EXPECT_EQ(a.meta.pebs.sav, b.meta.pebs.sav);
+    EXPECT_EQ(a.meta.stats.cycles, b.meta.stats.cycles);
+    EXPECT_EQ(a.meta.stats.hitmLoads, b.meta.stats.hitmLoads);
+    EXPECT_EQ(a.meta.stats.threadCycles, b.meta.stats.threadCycles);
+    EXPECT_EQ(a.meta.stats.threadInstructions,
+              b.meta.stats.threadInstructions);
+    EXPECT_EQ(a.meta.runtimeCycles, b.meta.runtimeCycles);
+    EXPECT_EQ(a.meta.mapsText, b.meta.mapsText);
+    EXPECT_EQ(configHash(a.meta), configHash(b.meta));
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].pc, b.records[i].pc) << i;
+        EXPECT_EQ(a.records[i].dataAddr, b.records[i].dataAddr) << i;
+        EXPECT_EQ(a.records[i].core, b.records[i].core) << i;
+        EXPECT_EQ(a.records[i].cycle, b.records[i].cycle) << i;
+    }
+}
+
+TEST(TraceFormat, RoundTripByteExact)
+{
+    const Trace original = syntheticTrace();
+    const std::vector<std::uint8_t> bytes = encode(original);
+
+    TraceReader reader;
+    ASSERT_EQ(reader.parse(bytes), TraceStatus::Ok) << reader.error();
+    expectTracesEqual(original, reader.trace());
+
+    // Re-encoding the parsed trace reproduces the identical file image.
+    EXPECT_EQ(encode(reader.trace()), bytes);
+}
+
+TEST(TraceFormat, CapturedRunRoundTripsThroughFile)
+{
+    const auto *kmeans = workloads::findWorkload("kmeans");
+    ASSERT_NE(kmeans, nullptr);
+    const Trace captured = captureTrace(*kmeans);
+    EXPECT_FALSE(captured.records.empty());
+    EXPECT_GT(captured.meta.runtimeCycles, 0u);
+    EXPECT_FALSE(captured.meta.mapsText.empty());
+
+    const std::string path =
+        (fs::temp_directory_path() / "laser_test_roundtrip.ltrace")
+            .string();
+    ASSERT_EQ(writeTraceFile(captured, path), TraceStatus::Ok);
+
+    TraceReader reader;
+    ASSERT_EQ(reader.readFile(path), TraceStatus::Ok) << reader.error();
+    expectTracesEqual(captured, reader.trace());
+    EXPECT_EQ(encode(reader.trace()), encode(captured));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormat, RejectsBadMagic)
+{
+    std::vector<std::uint8_t> bytes = encode(syntheticTrace());
+    bytes[0] = 'X';
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::BadMagic);
+    EXPECT_FALSE(reader.error().empty());
+}
+
+TEST(TraceFormat, RejectsVersionMismatch)
+{
+    std::vector<std::uint8_t> bytes = encode(syntheticTrace());
+    bytes[4] = static_cast<std::uint8_t>(kTraceVersion + 1);
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::BadVersion);
+}
+
+TEST(TraceFormat, RejectsForeignEndianness)
+{
+    std::vector<std::uint8_t> bytes = encode(syntheticTrace());
+    std::swap(bytes[8], bytes[11]); // byte-swapped endianness marker
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::BadEndianness);
+}
+
+TEST(TraceFormat, RejectsEveryTruncation)
+{
+    const std::vector<std::uint8_t> bytes = encode(syntheticTrace());
+    TraceReader reader;
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const TraceStatus status = reader.parse(bytes.data(), cut);
+        EXPECT_EQ(status, TraceStatus::Truncated)
+            << "prefix of " << cut << " bytes parsed as "
+            << traceStatusName(status);
+    }
+}
+
+TEST(TraceFormat, RejectsPayloadCorruption)
+{
+    const std::vector<std::uint8_t> pristine = encode(syntheticTrace());
+    // Flip one bit in every payload byte in turn: the checksum (or, for
+    // the header's stored hash, the hash crosscheck) must catch each.
+    TraceReader reader;
+    for (std::size_t i = 28; i + 8 < pristine.size(); i += 7) {
+        std::vector<std::uint8_t> bytes = pristine;
+        bytes[i] ^= 0x40;
+        EXPECT_EQ(reader.parse(bytes), TraceStatus::Corrupt)
+            << "flipped payload byte " << i;
+    }
+    // Corrupting the trailer checksum itself is also detected.
+    std::vector<std::uint8_t> bytes = pristine;
+    bytes.back() ^= 0x01;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::Corrupt);
+    // As is corrupting the stored config hash in the header.
+    bytes = pristine;
+    bytes[12] ^= 0x01;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::Corrupt);
+}
+
+TEST(TraceFormat, RejectsTrailingGarbage)
+{
+    std::vector<std::uint8_t> bytes = encode(syntheticTrace());
+    bytes.push_back(0xAA);
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(bytes), TraceStatus::Corrupt);
+}
+
+TEST(TraceFormat, ReportsIoErrorForMissingFile)
+{
+    TraceReader reader;
+    EXPECT_EQ(reader.readFile("/nonexistent/laser.ltrace"),
+              TraceStatus::IoError);
+}
+
+TEST(TraceFormat, ConfigHashDependsOnConfigOnly)
+{
+    Trace a = syntheticTrace();
+    Trace b = syntheticTrace();
+    b.meta.stats.cycles += 1;     // results do not affect the key
+    b.meta.runtimeCycles += 1;
+    EXPECT_EQ(configHash(a.meta), configHash(b.meta));
+    b.meta.pebs.sav = 7;          // config does
+    EXPECT_NE(configHash(a.meta), configHash(b.meta));
+    Trace c = syntheticTrace();
+    c.meta.machine.seed ^= 1;
+    EXPECT_NE(configHash(a.meta), configHash(c.meta));
+}
+
+// ---------------------------------------------------------------------
+// Replay fidelity: record -> replay reproduces the in-process pipeline.
+// ---------------------------------------------------------------------
+
+TEST(TraceReplay, MatchesInProcessPipeline)
+{
+    core::ExperimentRunner runner;
+    for (const char *name :
+         {"kmeans", "linear_regression", "histogram'"}) {
+        const auto *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        const core::RunResult live =
+            runner.run(*w, core::Scheme::LaserDetectOnly);
+
+        // Capture with the harness defaults, push through the on-disk
+        // format, and replay at the default detector configuration.
+        const Trace captured = captureTrace(*w);
+        TraceReader reader;
+        ASSERT_EQ(reader.parse(encode(captured)), TraceStatus::Ok);
+        const Trace loaded = reader.takeTrace();
+        TraceReplayer replayer(loaded);
+        ASSERT_TRUE(replayer.ok()) << replayer.error();
+        const detect::DetectionReport replayed =
+            replayer.replayAtThreshold(1000.0);
+
+        const detect::DetectionReport &expected = live.detection;
+        EXPECT_EQ(replayed.totalRecords, expected.totalRecords) << name;
+        EXPECT_EQ(replayed.droppedPcFilter, expected.droppedPcFilter)
+            << name;
+        EXPECT_EQ(replayed.droppedStackData, expected.droppedStackData)
+            << name;
+        EXPECT_EQ(replayed.repairRequested, expected.repairRequested)
+            << name;
+        ASSERT_EQ(replayed.lines.size(), expected.lines.size()) << name;
+        for (std::size_t i = 0; i < expected.lines.size(); ++i) {
+            EXPECT_EQ(replayed.lines[i].location,
+                      expected.lines[i].location)
+                << name << " line " << i;
+            EXPECT_EQ(replayed.lines[i].type, expected.lines[i].type)
+                << name << " line " << i;
+            EXPECT_EQ(replayed.lines[i].records,
+                      expected.lines[i].records)
+                << name << " line " << i;
+            EXPECT_DOUBLE_EQ(replayed.lines[i].hitmRate,
+                             expected.lines[i].hitmRate)
+                << name << " line " << i;
+            EXPECT_EQ(replayed.lines[i].tsEvents,
+                      expected.lines[i].tsEvents)
+                << name << " line " << i;
+            EXPECT_EQ(replayed.lines[i].fsEvents,
+                      expected.lines[i].fsEvents)
+                << name << " line " << i;
+        }
+    }
+}
+
+TEST(TraceReplay, UnknownWorkloadFailsCleanly)
+{
+    Trace t = syntheticTrace();
+    t.meta.workload = "no_such_workload";
+    TraceReplayer replayer(t);
+    EXPECT_FALSE(replayer.ok());
+    EXPECT_NE(replayer.error().find("no_such_workload"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep runner cache behaviour
+// ---------------------------------------------------------------------
+
+std::vector<const workloads::WorkloadDef *>
+sweepDefs()
+{
+    return {workloads::findWorkload("kmeans"),
+            workloads::findWorkload("linear_regression")};
+}
+
+TEST(SweepRunner, SecondSweepPerformsZeroMachineRuns)
+{
+    core::SweepRunner runner;
+    const std::vector<double> thresholds = {500, 1000, 4000};
+
+    const core::ThresholdSweepResult first =
+        core::thresholdSweep(runner, sweepDefs(), thresholds);
+    EXPECT_EQ(first.machineRuns, 2u);
+
+    const core::ThresholdSweepResult second =
+        core::thresholdSweep(runner, sweepDefs(), thresholds);
+    EXPECT_EQ(second.machineRuns, 0u);
+    EXPECT_GE(runner.stats().memoryCacheHits, 2u);
+
+    ASSERT_EQ(first.rows.size(), second.rows.size());
+    for (std::size_t i = 0; i < first.rows.size(); ++i) {
+        EXPECT_EQ(first.rows[i].falseNegatives,
+                  second.rows[i].falseNegatives);
+        EXPECT_EQ(first.rows[i].falsePositives,
+                  second.rows[i].falsePositives);
+    }
+}
+
+TEST(SweepRunner, DiskCachePersistsAcrossRunners)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "laser_sweep_cache_test";
+    fs::remove_all(dir);
+    const auto *kmeans = workloads::findWorkload("kmeans");
+    CaptureOptions opt;
+
+    {
+        core::SweepRunner::Config cfg;
+        cfg.cacheDir = dir.string();
+        core::SweepRunner first(cfg);
+        first.capture(*kmeans, opt);
+        EXPECT_EQ(first.stats().machineRuns, 1u);
+    }
+
+    core::SweepRunner::Config cfg;
+    cfg.cacheDir = dir.string();
+    core::SweepRunner second(cfg);
+    const auto trace = second.capture(*kmeans, opt);
+    EXPECT_EQ(second.stats().machineRuns, 0u);
+    EXPECT_EQ(second.stats().diskCacheHits, 1u);
+    EXPECT_EQ(trace->meta.workload, "kmeans");
+    EXPECT_FALSE(trace->records.empty());
+    fs::remove_all(dir);
+}
+
+TEST(SweepRunner, CorruptCacheFileIsResimulatedAndRepaired)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "laser_sweep_corrupt_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto *kmeans = workloads::findWorkload("kmeans");
+    const CaptureOptions opt;
+    const std::uint64_t key = configHash(makeCaptureMeta(*kmeans, opt));
+
+    core::SweepRunner::Config cfg;
+    cfg.cacheDir = dir.string();
+    core::SweepRunner runner(cfg);
+    {
+        std::ofstream poison(runner.cachePath(key), std::ios::binary);
+        poison << "not a trace";
+    }
+    runner.capture(*kmeans, opt);
+    EXPECT_EQ(runner.stats().machineRuns, 1u);
+    EXPECT_EQ(runner.stats().diskCacheHits, 0u);
+
+    // The poisoned file was overwritten with a valid trace.
+    TraceReader reader;
+    EXPECT_EQ(reader.readFile(runner.cachePath(key)), TraceStatus::Ok);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace laser::trace

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * laser_trace: capture, inspect and replay PEBS trace files.
+ *
+ *   laser_trace record <workload> [-o FILE] [--sav N] [--seed N]
+ *                      [--heap-shift N] [--threads N] [--scale F]
+ *       Run the monitored simulation once and persist the record
+ *       stream + run metadata as a trace file.
+ *
+ *   laser_trace info FILE
+ *       Decode and print a trace's header, configuration and stats.
+ *
+ *   laser_trace replay FILE [--threshold F]
+ *       Re-run LASERDETECT over the stored records at the given rate
+ *       threshold (default: the paper's 1K HITMs/sec) — no simulation.
+ *
+ *   laser_trace sweep [--workloads a,b,...] [--thresholds t1,t2,...]
+ *                     [--cache-dir DIR] [-j N]
+ *       Capture-once/replay-many threshold sweep over the bug database
+ *       (Figure 9 style), fanned across cores, optionally backed by an
+ *       on-disk trace cache shared between invocations.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.h"
+#include "core/sweep_runner.h"
+#include "trace/capture.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+using namespace laser;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: laser_trace <command> [options]\n"
+        "  record <workload> [-o FILE] [--sav N] [--seed N]\n"
+        "                    [--heap-shift N] [--threads N] [--scale F]\n"
+        "  info FILE\n"
+        "  replay FILE [--threshold F]\n"
+        "  sweep [--workloads a,b,...] [--thresholds t1,t2,...]\n"
+        "        [--cache-dir DIR] [-j N]\n");
+    return 1;
+}
+
+bool
+nextArg(int argc, char **argv, int *i, const char *flag, std::string *out)
+{
+    if (std::strcmp(argv[*i], flag) != 0)
+        return false;
+    if (*i + 1 >= argc) {
+        std::fprintf(stderr, "laser_trace: %s needs a value\n", flag);
+        std::exit(1);
+    }
+    *out = argv[++*i];
+    return true;
+}
+
+/** Parse a full numeric value or exit with a clean error naming @p flag. */
+double
+numArg(const std::string &v, const char *flag)
+{
+    try {
+        std::size_t pos = 0;
+        const double d = std::stod(v, &pos);
+        if (pos == v.size())
+            return d;
+    } catch (const std::exception &) {
+    }
+    std::fprintf(stderr, "laser_trace: %s: invalid numeric value \"%s\"\n",
+                 flag, v.c_str());
+    std::exit(1);
+}
+
+/** Parse a non-negative integer value (unsigned flags) or exit. */
+std::uint64_t
+uintArg(const std::string &v, const char *flag)
+{
+    const double d = numArg(v, flag);
+    if (d < 0.0 || d > 1.8e19 || d != std::floor(d)) {
+        std::fprintf(stderr,
+                     "laser_trace: %s: expected a non-negative integer, "
+                     "got \"%s\"\n",
+                     flag, v.c_str());
+        std::exit(1);
+    }
+    return static_cast<std::uint64_t>(d);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+printReport(const detect::DetectionReport &report)
+{
+    TablePrinter table({"location", "type", "records", "HITM/s", "ts/fs"});
+    for (const detect::LineReport &line : report.lines) {
+        std::string loc = line.location;
+        if (line.library)
+            loc += " (lib)";
+        table.addRow({loc, detect::contentionTypeName(line.type),
+                      std::to_string(line.records),
+                      fmtDouble(line.hitmRate, 0),
+                      std::to_string(line.tsEvents) + "/" +
+                          std::to_string(line.fsEvents)});
+    }
+    if (report.lines.empty())
+        std::printf("(no lines above the rate threshold)\n");
+    else
+        std::fputs(table.render().c_str(), stdout);
+    std::printf("records: %llu total, %llu dropped by PC filter, %llu "
+                "stack-data; %.2f represented seconds; repair %s\n",
+                (unsigned long long)report.totalRecords,
+                (unsigned long long)report.droppedPcFilter,
+                (unsigned long long)report.droppedStackData,
+                report.seconds,
+                report.repairRequested ? "requested" : "not requested");
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string name = argv[2];
+    const workloads::WorkloadDef *def = workloads::findWorkload(name);
+    if (!def) {
+        std::fprintf(stderr, "laser_trace: unknown workload \"%s\"\n",
+                     name.c_str());
+        return 1;
+    }
+
+    trace::CaptureOptions opt;
+    std::string out_path = name + trace::kTraceExtension;
+    std::string v;
+    for (int i = 3; i < argc; ++i) {
+        if (nextArg(argc, argv, &i, "-o", &v))
+            out_path = v;
+        else if (nextArg(argc, argv, &i, "--sav", &v))
+            opt.sav = std::uint32_t(uintArg(v, "--sav"));
+        else if (nextArg(argc, argv, &i, "--seed", &v))
+            opt.machineSeed = uintArg(v, "--seed");
+        else if (nextArg(argc, argv, &i, "--heap-shift", &v))
+            opt.heapShift = uintArg(v, "--heap-shift");
+        else if (nextArg(argc, argv, &i, "--threads", &v))
+            opt.numThreads = int(uintArg(v, "--threads"));
+        else if (nextArg(argc, argv, &i, "--scale", &v))
+            opt.scale = numArg(v, "--scale");
+        else
+            return usage();
+    }
+
+    const trace::Trace t = trace::captureTrace(*def, opt);
+    const trace::TraceStatus status = trace::writeTraceFile(t, out_path);
+    if (status != trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "laser_trace: writing %s failed: %s\n",
+                     out_path.c_str(), trace::traceStatusName(status));
+        return 2;
+    }
+    std::printf("captured %s: %zu records, %llu cycles (%.2f represented "
+                "seconds), %llu HITM events\n",
+                name.c_str(), t.records.size(),
+                (unsigned long long)t.meta.runtimeCycles,
+                t.meta.stats.seconds(),
+                (unsigned long long)t.meta.stats.hitmTotal());
+    std::printf("wrote %s (config hash %016llx)\n", out_path.c_str(),
+                (unsigned long long)trace::configHash(t.meta));
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceReader reader;
+    const trace::TraceStatus status = reader.readFile(argv[2]);
+    if (status != trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "laser_trace: %s: %s (%s)\n", argv[2],
+                     trace::traceStatusName(status),
+                     reader.error().c_str());
+        return 2;
+    }
+    const trace::Trace &t = reader.trace();
+    std::printf("trace file:    %s\n", argv[2]);
+    std::printf("format:        LSRT v%u\n", trace::kTraceVersion);
+    std::printf("config hash:   %016llx\n",
+                (unsigned long long)trace::configHash(t.meta));
+    std::printf("workload:      %s (scheme %s)\n",
+                t.meta.workload.c_str(), t.meta.scheme.c_str());
+    std::printf("capture:       sav=%u threads=%d machine-seed=%llx "
+                "heap-shift=%llu scale=%.2f\n",
+                t.meta.pebs.sav, t.meta.build.numThreads,
+                (unsigned long long)t.meta.machine.seed,
+                (unsigned long long)t.meta.build.heapPerturbation,
+                t.meta.build.scale);
+    std::printf("run:           %llu cycles (%.2f represented seconds), "
+                "%llu instructions\n",
+                (unsigned long long)t.meta.runtimeCycles,
+                t.meta.stats.seconds(),
+                (unsigned long long)t.meta.stats.instructions);
+    std::printf("hitm:          %llu loads + %llu stores\n",
+                (unsigned long long)t.meta.stats.hitmLoads,
+                (unsigned long long)t.meta.stats.hitmStores);
+    std::printf("records:       %zu\n", t.records.size());
+    std::printf("maps text:     %zu bytes\n", t.meta.mapsText.size());
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    double threshold = 1000.0;
+    std::string v;
+    for (int i = 3; i < argc; ++i) {
+        if (nextArg(argc, argv, &i, "--threshold", &v))
+            threshold = numArg(v, "--threshold");
+        else
+            return usage();
+    }
+
+    trace::TraceReader reader;
+    const trace::TraceStatus status = reader.readFile(argv[2]);
+    if (status != trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "laser_trace: %s: %s (%s)\n", argv[2],
+                     trace::traceStatusName(status),
+                     reader.error().c_str());
+        return 2;
+    }
+    const trace::Trace t = reader.takeTrace();
+    trace::TraceReplayer replayer(t);
+    if (!replayer.ok()) {
+        std::fprintf(stderr, "laser_trace: %s\n",
+                     replayer.error().c_str());
+        return 2;
+    }
+    std::printf("replaying %s at %.0f HITMs/sec (sav %u, %zu records)\n\n",
+                t.meta.workload.c_str(), threshold, t.meta.pebs.sav,
+                t.records.size());
+    printReport(replayer.replayAtThreshold(threshold));
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    std::vector<double> thresholds = {32,   64,   128,  256,   512,  1000,
+                                      2000, 4000, 8000, 16000, 32000, 64000};
+    core::SweepRunner::Config rc;
+    std::string v;
+    for (int i = 2; i < argc; ++i) {
+        if (nextArg(argc, argv, &i, "--workloads", &v))
+            names = splitCommas(v);
+        else if (nextArg(argc, argv, &i, "--thresholds", &v)) {
+            thresholds.clear();
+            for (const std::string &s : splitCommas(v))
+                thresholds.push_back(numArg(s, "--thresholds"));
+        } else if (nextArg(argc, argv, &i, "--cache-dir", &v))
+            rc.cacheDir = v;
+        else if (nextArg(argc, argv, &i, "-j", &v))
+            rc.numWorkers = int(uintArg(v, "-j"));
+        else
+            return usage();
+    }
+
+    std::vector<const workloads::WorkloadDef *> defs;
+    if (names.empty()) {
+        for (const auto &w : workloads::allWorkloads())
+            defs.push_back(&w);
+    } else {
+        for (const std::string &n : names) {
+            const workloads::WorkloadDef *def = workloads::findWorkload(n);
+            if (!def) {
+                std::fprintf(stderr,
+                             "laser_trace: unknown workload \"%s\"\n",
+                             n.c_str());
+                return 1;
+            }
+            defs.push_back(def);
+        }
+    }
+
+    core::SweepRunner runner(rc);
+    const core::ThresholdSweepResult sweep =
+        core::thresholdSweep(runner, defs, thresholds);
+
+    TablePrinter table(
+        {"threshold (HITM/s)", "false negatives", "false positives"});
+    for (const core::ThresholdSweepRow &row : sweep.rows)
+        table.addRow({fmtDouble(row.threshold, 0),
+                      std::to_string(row.falseNegatives),
+                      std::to_string(row.falsePositives)});
+    std::fputs(table.render().c_str(), stdout);
+
+    const core::SweepStats stats = runner.stats();
+    std::printf("\n%llu simulations, %llu memory cache hits, %llu disk "
+                "cache hits; %zu replays on %d workers\n",
+                (unsigned long long)sweep.machineRuns,
+                (unsigned long long)stats.memoryCacheHits,
+                (unsigned long long)stats.diskCacheHits, sweep.replays,
+                runner.workers());
+    if (sweep.machineRuns > 0)
+        std::printf("capture %.2fs, replay %.2fs -> replay speedup "
+                    "%.1fx per sweep point\n",
+                    sweep.captureSeconds, sweep.replaySeconds,
+                    sweep.replaySpeedup());
+    else
+        std::printf("capture %.2fs (fully cache-served), replay %.2fs\n",
+                    sweep.captureSeconds, sweep.replaySeconds);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "record")
+        return cmdRecord(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
+    if (cmd == "replay")
+        return cmdReplay(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    return usage();
+}
