@@ -10,11 +10,13 @@
 #define LASER_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "core/accuracy.h"
 #include "core/experiment.h"
+#include "core/sweep_runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/workload.h"
@@ -35,6 +37,21 @@ inline std::string
 dashIfZero(int v)
 {
     return v == 0 ? "-" : std::to_string(v);
+}
+
+/**
+ * Sweep-runner configuration for the capture-once/replay-many benches:
+ * LASER_TRACE_CACHE names an on-disk trace-cache directory shared
+ * across invocations (a repeat run then performs zero simulations);
+ * unset keeps the cache in memory for this invocation only.
+ */
+inline core::SweepRunner::Config
+sweepConfig()
+{
+    core::SweepRunner::Config cfg;
+    if (const char *dir = std::getenv("LASER_TRACE_CACHE"))
+        cfg.cacheDir = dir;
+    return cfg;
 }
 
 /** Paper's Figure 10 LASER bars where readable (by workload name). */

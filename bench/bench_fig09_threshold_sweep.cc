@@ -12,12 +12,61 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/sweep_runner.h"
+#include "trace/parallel_replay.h"
+#include "trace/replay.h"
 
 using namespace laser;
+
+namespace {
+
+/**
+ * Shard-parallel replay demo on the suite's biggest captured trace:
+ * serial full-pipeline replays vs one sharded digest + per-config
+ * scans, with the identity invariant enforced.
+ */
+void
+shardedReplayDemo(core::SweepRunner &runner,
+                  const std::vector<const workloads::WorkloadDef *> &defs,
+                  const std::vector<double> &thresholds)
+{
+    std::shared_ptr<const trace::Trace> biggest;
+    for (const auto *def : defs) {
+        auto t = runner.capture(*def, {}); // cache-served by the sweep
+        if (!biggest || t->records.size() > biggest->records.size())
+            biggest = t;
+    }
+    if (!biggest || biggest->records.empty())
+        return;
+    trace::TraceReplayer env(*biggest);
+    if (!env.ok())
+        return;
+
+    const trace::ShardedReplayCheck check =
+        trace::checkShardedReplay(env, thresholds, 4);
+    if (!check.identical) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATION: sharded replay differs from "
+                     "serial at threshold %.0f\n",
+                     check.mismatchThreshold);
+        std::exit(1);
+    }
+    std::printf("\nShard-parallel replay (%s, %zu records): %d shards, "
+                "%zu configs from one digest, reports identical to "
+                "serial; serial %.1fms vs sharded %.1fms -> %.2fx "
+                "speedup.\n",
+                biggest->meta.workload.c_str(), biggest->records.size(),
+                check.shards, thresholds.size(),
+                1e3 * check.serialSeconds, 1e3 * check.shardedSeconds,
+                check.speedup());
+}
+
+} // namespace
 
 int
 main()
@@ -32,7 +81,7 @@ main()
                                             512,  1000, 2000, 4000,
                                             8000, 16000, 32000, 64000};
 
-    core::SweepRunner runner;
+    core::SweepRunner runner(bench::sweepConfig());
     const core::ThresholdSweepResult sweep =
         core::thresholdSweep(runner, defs, thresholds);
 
@@ -48,20 +97,23 @@ main()
     std::fputs(table.render().c_str(), stdout);
 
     std::printf("\nTrace cache: %llu simulations for %zu workloads, "
-                "%zu sweep points served by detector replay "
-                "(%d workers).\n",
+                "%zu sweep points served by digest-once/report-many "
+                "replay (%d-shard digests, %d workers).\n",
                 (unsigned long long)sweep.machineRuns, defs.size(),
-                sweep.replays, runner.workers());
-    std::printf("Timing: capture %.2fs (%.1fms/sim), replay %.2fs "
-                "(%.2fms/pass) -> replay speedup %.1fx vs "
+                sweep.replays, sweep.shardsPerDigest, runner.workers());
+    std::printf("Timing: capture %.2fs (%.1fms/sim), digest %.2fs, "
+                "replay %.2fs (%.2fms/pass) -> replay speedup %.1fx vs "
                 "re-simulating each sweep point.\n",
                 sweep.captureSeconds,
                 1e3 * sweep.captureSeconds /
                     double(sweep.machineRuns ? sweep.machineRuns : 1),
-                sweep.replaySeconds,
+                sweep.digestSeconds, sweep.replaySeconds,
                 1e3 * sweep.replaySeconds /
                     double(sweep.replays ? sweep.replays : 1),
                 sweep.replaySpeedup());
+
+    shardedReplayDemo(runner, defs, thresholds);
+
     std::printf("\nShape check (paper Fig. 9): FPs fall as the threshold "
                 "rises (log scale); FNs appear only at the high end; the "
                 "1K default sits in the flat valley.\n");

@@ -40,7 +40,7 @@ main()
     const std::size_t nsav = savs.size();
     const std::size_t nseed = seeds.size();
 
-    core::SweepRunner runner;
+    core::SweepRunner runner(bench::sweepConfig());
 
     // Phase 1: all (SAV x seed) monitored runs plus the per-seed native
     // baselines, in parallel. The baseline for a seed is requested by

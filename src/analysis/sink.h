@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The scheme-agnostic analysis-sink interface.
+ *
+ * LASER's central property (Section 4) is that detection is a pure
+ * function of the record stream: the same stream of (pc, data address,
+ * core, cycle) tuples can be consumed live by a detector, persisted by a
+ * trace writer, or both at once. This header defines the one interface
+ * every consumer implements — detect::DetectorPipeline, the VTune and
+ * Sheriff offline analyzers, and trace::TraceWriter are all RecordSinks —
+ * so the live core::ExperimentRunner path and trace::TraceReplayer drive
+ * their analyses through identical plumbing.
+ *
+ * Record-field interpretation is scheme-dependent (a "laser-detect"
+ * record is a PEBS HITM sample; a "sheriff" record encodes one sync
+ * operation), but the stream contract is shared: records arrive in
+ * non-decreasing cycle order, exactly once, followed by nothing.
+ */
+
+#ifndef LASER_ANALYSIS_SINK_H
+#define LASER_ANALYSIS_SINK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pebs/record.h"
+
+namespace laser::analysis {
+
+/** Consumer of one analysis-record stream. */
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+
+    /** One record; calls arrive in non-decreasing cycle order. */
+    virtual void onRecord(const pebs::PebsRecord &rec) = 0;
+};
+
+/** Fan one stream into several sinks (multi-config single-pass replay). */
+class TeeSink final : public RecordSink
+{
+  public:
+    TeeSink() = default;
+    explicit TeeSink(std::vector<RecordSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void add(RecordSink *sink) { sinks_.push_back(sink); }
+
+    void
+    onRecord(const pebs::PebsRecord &rec) override
+    {
+        for (RecordSink *sink : sinks_)
+            sink->onRecord(rec);
+    }
+
+  private:
+    std::vector<RecordSink *> sinks_;
+};
+
+/** Feed an already cycle-ordered stream through a sink. */
+void drain(const std::vector<pebs::PebsRecord> &records, RecordSink &sink);
+
+/**
+ * Restore canonical time order (stable sort by cycle, preserving
+ * driver-delivery order among equal cycles) and feed the sink. This is
+ * the live-path entry point: per-core PEBS buffers are drained in
+ * same-core bursts, and a stable cycle sort recovers the interleaving
+ * the cache-line model needs.
+ */
+void drainSorted(const std::vector<pebs::PebsRecord> &records,
+                 RecordSink &sink);
+
+/**
+ * Stable cycle sort used by drainSorted and by trace capture; exposed so
+ * every producer of canonical streams orders records identically.
+ */
+void sortByCycle(std::vector<pebs::PebsRecord> *records);
+
+} // namespace laser::analysis
+
+#endif // LASER_ANALYSIS_SINK_H

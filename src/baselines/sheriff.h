@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "isa/types.h"
+#include "pebs/record.h"
 #include "sim/hitm.h"
 
 namespace laser::baselines {
@@ -47,6 +48,17 @@ struct SheriffConfig
     bool detectMode = false;
 };
 
+/** Commit cost of one sync operation under @p cfg (model and replay). */
+inline std::uint64_t
+sheriffSyncCost(const SheriffConfig &cfg, std::uint64_t dirty_pages)
+{
+    std::uint64_t cost =
+        cfg.syncBaseCost + dirty_pages * cfg.perDirtyPageCost;
+    if (cfg.detectMode)
+        cost += cfg.detectExtraCost;
+    return cost;
+}
+
 /** Sheriff-Detect output: falsely-shared objects by allocation site. */
 struct SheriffReport
 {
@@ -54,26 +66,60 @@ struct SheriffReport
     std::vector<std::string> reportedSites;
     std::uint64_t syncOps = 0;
     std::uint64_t dirtyPagesCommitted = 0;
+    /** Commit cycles this model charged to the application. */
+    std::uint64_t chargedCycles = 0;
 };
+
+/**
+ * Encode one sync operation as an analysis record so Sheriff runs can
+ * stream through the scheme-agnostic sink/trace plumbing: pc carries the
+ * sync kind, dataAddr the dirty-page count.
+ */
+inline pebs::PebsRecord
+encodeSheriffSync(int core, isa::SyncKind kind, std::uint64_t dirty_pages,
+                  std::uint64_t cycle)
+{
+    pebs::PebsRecord rec;
+    rec.pc = static_cast<std::uint64_t>(kind);
+    rec.dataAddr = dirty_pages;
+    rec.core = core;
+    rec.cycle = cycle;
+    return rec;
+}
+
+/** Decode the dirty-page count of an encoded sync record. */
+inline std::uint64_t
+sheriffSyncDirtyPages(const pebs::PebsRecord &rec)
+{
+    return rec.dataAddr;
+}
 
 /** The cost-charging sink. */
 class SheriffModel : public sim::PmuSink
 {
   public:
-    explicit SheriffModel(SheriffConfig cfg = {}) : cfg_(cfg) {}
+    /**
+     * @p capture_stream buffers each sync op as an analysis record for
+     * trace capture; leave it off on live runs with no capture sink —
+     * sync-heavy workloads commit tens of thousands of times.
+     */
+    explicit SheriffModel(SheriffConfig cfg = {},
+                          bool capture_stream = false)
+        : cfg_(cfg), captureStream_(capture_stream)
+    {
+    }
 
     std::uint64_t
-    onSync(int core, isa::SyncKind kind,
-           std::uint64_t dirty_pages) override
+    onSync(int core, isa::SyncKind kind, std::uint64_t dirty_pages,
+           std::uint64_t cycle) override
     {
-        (void)core;
-        (void)kind;
         ++syncOps_;
         dirtyPages_ += dirty_pages;
-        std::uint64_t cost =
-            cfg_.syncBaseCost + dirty_pages * cfg_.perDirtyPageCost;
-        if (cfg_.detectMode)
-            cost += cfg_.detectExtraCost;
+        const std::uint64_t cost = sheriffSyncCost(cfg_, dirty_pages);
+        charged_ += cost;
+        if (captureStream_)
+            records_.push_back(
+                encodeSheriffSync(core, kind, dirty_pages, cycle));
         return cost;
     }
 
@@ -83,14 +129,42 @@ class SheriffModel : public sim::PmuSink
         SheriffReport r;
         r.syncOps = syncOps_;
         r.dirtyPagesCommitted = dirtyPages_;
+        r.chargedCycles = charged_;
         return r;
+    }
+
+    /**
+     * Sync stream in delivery order (sort before writing); empty unless
+     * constructed with capture_stream.
+     */
+    const std::vector<pebs::PebsRecord> &records() const
+    {
+        return records_;
     }
 
   private:
     SheriffConfig cfg_;
+    bool captureStream_ = false;
     std::uint64_t syncOps_ = 0;
     std::uint64_t dirtyPages_ = 0;
+    std::uint64_t charged_ = 0;
+    std::vector<pebs::PebsRecord> records_;
 };
+
+/** Rebuild a SheriffReport offline from an encoded sync stream. */
+inline SheriffReport
+replaySheriffStream(const std::vector<pebs::PebsRecord> &records,
+                    const SheriffConfig &cfg)
+{
+    SheriffReport r;
+    for (const pebs::PebsRecord &rec : records) {
+        ++r.syncOps;
+        const std::uint64_t dirty = sheriffSyncDirtyPages(rec);
+        r.dirtyPagesCommitted += dirty;
+        r.chargedCycles += sheriffSyncCost(cfg, dirty);
+    }
+    return r;
+}
 
 } // namespace laser::baselines
 

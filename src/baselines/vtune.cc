@@ -64,11 +64,13 @@ VTuneModel::onMemop(int core, std::uint32_t pc_index, bool is_write,
 }
 
 VTuneReport
-VTuneModel::finish(std::uint64_t total_cycles)
+aggregateVTune(const isa::Program &prog, const mem::AddressSpace &space,
+               const std::vector<pebs::PebsRecord> &records,
+               std::uint64_t hitm_events, std::uint64_t total_cycles,
+               const VTuneConfig &cfg)
 {
-    sampler_.finish();
     VTuneReport report;
-    report.hitmEvents = hitmEvents_;
+    report.hitmEvents = hitm_events;
     const double seconds = sim::representedSeconds(total_cycles);
     if (seconds <= 0.0)
         return report;
@@ -76,25 +78,35 @@ VTuneModel::finish(std::uint64_t total_cycles)
     // Raw aggregation: no filtering; unresolvable PCs are attributed to
     // the "nearest symbol" (deterministically pseudo-random line).
     std::map<isa::SourceLoc, std::uint64_t> by_line;
-    for (const pebs::PebsRecord &rec : sampler_.records()) {
-        std::int64_t index = space_.pcToIndex(rec.pc);
+    for (const pebs::PebsRecord &rec : records) {
+        std::int64_t index = space.pcToIndex(rec.pc);
         if (index < 0)
             index = static_cast<std::int64_t>(
-                (rec.pc / isa::kInsnBytes) % prog_.size());
-        ++by_line[prog_.locOf(static_cast<std::uint32_t>(index))];
+                (rec.pc / isa::kInsnBytes) % prog.size());
+        ++by_line[prog.locOf(static_cast<std::uint32_t>(index))];
     }
     for (const auto &[loc, count] : by_line) {
         const double rate = double(count) / seconds;
-        if (rate >= cfg_.rateThreshold) {
+        if (rate >= cfg.rateThreshold) {
             report.lines.push_back(
-                {prog_.locString(loc), count, rate});
+                {prog.locString(loc), count, rate});
         }
     }
     std::sort(report.lines.begin(), report.lines.end(),
               [](const VTuneLine &a, const VTuneLine &b) {
-                  return a.hitmRate > b.hitmRate;
+                  if (a.hitmRate != b.hitmRate)
+                      return a.hitmRate > b.hitmRate;
+                  return a.location < b.location;
               });
     return report;
+}
+
+VTuneReport
+VTuneModel::finish(std::uint64_t total_cycles)
+{
+    sampler_.finish();
+    return aggregateVTune(prog_, space_, sampler_.records(), hitmEvents_,
+                          total_cycles, cfg_);
 }
 
 } // namespace laser::baselines

@@ -70,6 +70,19 @@ struct VTuneReport
     std::uint64_t hitmEvents = 0;
 };
 
+/**
+ * VTune's offline aggregation: raw per-line rates over the recorded
+ * stream with the flat threshold applied. Pure function of the stream,
+ * shared by the live model and trace replay — re-tuning the reporting
+ * threshold never needs a rerun.
+ */
+VTuneReport aggregateVTune(const isa::Program &prog,
+                           const mem::AddressSpace &space,
+                           const std::vector<pebs::PebsRecord> &records,
+                           std::uint64_t hitm_events,
+                           std::uint64_t total_cycles,
+                           const VTuneConfig &cfg);
+
 /** The profiling sink + offline report builder. */
 class VTuneModel : public sim::PmuSink
 {
@@ -83,6 +96,15 @@ class VTuneModel : public sim::PmuSink
 
     /** Build the report after the run. */
     VTuneReport finish(std::uint64_t total_cycles);
+
+    /**
+     * Interrupt-per-event record stream in delivery order (capturable;
+     * valid after finish() has drained the sampler).
+     */
+    const std::vector<pebs::PebsRecord> &records() const
+    {
+        return sampler_.records();
+    }
 
   private:
     const isa::Program &prog_;

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "detect/pipeline.h"
+
 namespace laser::core {
+
+namespace {
+
+/**
+ * Drive a scheme's analysis stream in canonical cycle order into the
+ * live analyzer and, when configured, the capture tee — the same
+ * analysis::RecordSink plumbing trace replay uses.
+ */
+void
+driveAnalysis(const std::vector<pebs::PebsRecord> &records,
+              analysis::RecordSink *live, analysis::RecordSink *capture)
+{
+    analysis::TeeSink tee;
+    if (live)
+        tee.add(live);
+    if (capture)
+        tee.add(capture);
+    analysis::drainSorted(records, tee);
+}
+
+} // namespace
 
 const char *
 schemeName(Scheme scheme)
@@ -107,11 +130,15 @@ ExperimentRunner::runLaser(const workloads::WorkloadDef &w, double scale,
     monitor.finish();
     result.pebs = monitor.stats();
 
-    detect::Detector detector(machine.program(), machine.addressSpace(),
-                              machine.addressSpace().renderProcMaps(),
-                              cfg_.timing, cfg_.detector);
-    detector.processAll(monitor.records());
-    result.detection = detector.finish(result.stats.cycles);
+    // LASERDETECT consumes the stream through the scheme-agnostic sink
+    // interface — the identical pipeline a trace replay drives.
+    detect::DetectorContext ctx(machine.program(),
+                                machine.addressSpace(),
+                                machine.addressSpace().renderProcMaps(),
+                                cfg_.timing);
+    detect::DetectorPipeline pipeline(ctx, cfg_.detector);
+    driveAnalysis(monitor.records(), &pipeline, cfg_.captureSink);
+    result.detection = pipeline.finish(result.stats.cycles);
     result.runtimeCycles = result.stats.cycles;
 
     if (!with_repair || !result.detection.repairRequested)
@@ -173,6 +200,8 @@ ExperimentRunner::runVTune(const workloads::WorkloadDef &w, double scale)
     result.stats = machine.run();
     result.vtune = vtune.finish(result.stats.cycles);
     result.runtimeCycles = result.stats.cycles;
+    if (cfg_.captureSink)
+        driveAnalysis(vtune.records(), nullptr, cfg_.captureSink);
     return result;
 }
 
@@ -212,11 +241,14 @@ ExperimentRunner::runSheriff(const workloads::WorkloadDef &w,
 
     baselines::SheriffConfig sc = cfg_.sheriff;
     sc.detectMode = detect_mode;
-    baselines::SheriffModel sheriff(sc);
+    // Buffer the sync stream only when something will consume it.
+    baselines::SheriffModel sheriff(sc, cfg_.captureSink != nullptr);
     machine.setPmuSink(&sheriff);
     result.stats = machine.run();
     result.sheriff = sheriff.finish();
     result.runtimeCycles = result.stats.cycles;
+    if (cfg_.captureSink)
+        driveAnalysis(sheriff.records(), nullptr, cfg_.captureSink);
 
     // Sheriff-Detect's object-granularity findings are encoded from
     // Table 1/2 (see DESIGN.md): when it catches a bug it reports the

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/sink.h"
 #include "baselines/sheriff.h"
 #include "baselines/vtune.h"
 #include "detect/detector.h"
@@ -67,6 +68,14 @@ struct ExperimentConfig
     std::uint64_t inputSeed = 0x5eed;
     /** Machine timing-jitter seed (vary to average across "runs"). */
     std::uint64_t machineSeed = 0x1a5e2;
+    /**
+     * Optional tee: each run's canonical analysis-record stream (the
+     * LASER PEBS samples, the VTune interrupt-per-event stream, the
+     * Sheriff sync commits — in cycle order) is also driven into this
+     * sink. Point it at a trace::TraceWriter to capture any scheme's
+     * run for offline replay. Not owned; must outlive the runner calls.
+     */
+    analysis::RecordSink *captureSink = nullptr;
 };
 
 /** Result of one run. */

@@ -70,6 +70,9 @@ class SweepRunner
         pool_.parallelFor(n, fn);
     }
 
+    /** The shared worker pool (nested parallelFor is deadlock-free). */
+    util::ThreadPool &pool() { return pool_; }
+
     SweepStats stats() const;
     int workers() const { return pool_.workers(); }
     const Config &config() const { return cfg_; }
@@ -107,24 +110,33 @@ struct ThresholdSweepResult
     std::uint64_t machineRuns = 0;
     std::size_t captures = 0; ///< capture requests (runs + cache hits)
     std::size_t replays = 0;  ///< detector replays performed
+    /** Time-window shards per trace digest (1 = serial pipelines). */
+    int shardsPerDigest = 1;
     double captureSeconds = 0.0;
+    /** Sharded, config-independent stream digests (one per workload). */
+    double digestSeconds = 0.0;
+    /** Per-configuration rate scans + report builds. */
     double replaySeconds = 0.0;
 
-    /** Per-pass cost ratio: one simulation vs one detector replay. */
+    /** Per-pass cost ratio: one simulation vs one sweep-point replay. */
     double replaySpeedup() const;
 };
 
 /**
  * Figure 9 workhorse: capture each workload's monitored run once (in
- * parallel, cache-served when possible), then replay the detector at
- * every threshold and tally false negatives/positives against the
- * known-bug database.
+ * parallel, cache-served when possible), digest each trace once through
+ * sharded parallel replay (the digest is config-independent), then
+ * derive every threshold point from the merged digest and tally false
+ * negatives/positives against the known-bug database.
+ *
+ * @p shards 0 picks a digest width that spreads the workloads' shard
+ * jobs over the runner's workers.
  */
 ThresholdSweepResult
 thresholdSweep(SweepRunner &runner,
                const std::vector<const workloads::WorkloadDef *> &defs,
                const std::vector<double> &thresholds,
-               const trace::CaptureOptions &opt = {});
+               const trace::CaptureOptions &opt = {}, int shards = 0);
 
 } // namespace laser::core
 

@@ -1,16 +1,33 @@
 #include "detect/cacheline_model.h"
 
+#include <algorithm>
+
 namespace laser::detect {
+
+std::uint64_t
+CacheLineModel::byteMask(std::uint64_t addr, int size)
+{
+    const int offset = static_cast<int>(addr % kLineBytes);
+    const int clipped = std::min(size, kLineBytes - offset);
+    return clipped >= 64 ? ~0ULL
+                         : (((std::uint64_t(1) << clipped) - 1) << offset);
+}
+
+SharingOutcome
+CacheLineModel::classify(std::uint64_t prev_mask, bool prev_write,
+                         std::uint64_t mask, bool is_write)
+{
+    if (!prev_write && !is_write)
+        return SharingOutcome::None;
+    return (prev_mask & mask) != 0 ? SharingOutcome::TrueSharing
+                                   : SharingOutcome::FalseSharing;
+}
 
 SharingOutcome
 CacheLineModel::access(std::uint64_t addr, int size, bool is_write)
 {
     const std::uint64_t line = addr / kLineBytes;
-    const int offset = static_cast<int>(addr % kLineBytes);
-    const int clipped = std::min(size, kLineBytes - offset);
-    const std::uint64_t mask =
-        (clipped >= 64 ? ~0ULL
-                       : (((std::uint64_t(1) << clipped) - 1) << offset));
+    const std::uint64_t mask = byteMask(addr, size);
 
     auto it = lines_.find(line);
     if (it == lines_.end()) {
@@ -19,11 +36,8 @@ CacheLineModel::access(std::uint64_t addr, int size, bool is_write)
     }
 
     LastAccess &prev = it->second;
-    SharingOutcome outcome = SharingOutcome::None;
-    if (prev.wasWrite || is_write) {
-        outcome = (prev.byteMask & mask) != 0 ? SharingOutcome::TrueSharing
-                                              : SharingOutcome::FalseSharing;
-    }
+    const SharingOutcome outcome =
+        classify(prev.byteMask, prev.wasWrite, mask, is_write);
     prev.byteMask = mask;
     prev.wasWrite = is_write;
     return outcome;

@@ -33,6 +33,22 @@ class CacheLineModel
     static constexpr int kLineBytes = 64;
 
     /**
+     * Byte footprint of a @p size-byte access at @p addr within its
+     * line; accesses that would cross the line boundary are clipped.
+     */
+    static std::uint64_t byteMask(std::uint64_t addr, int size);
+
+    /**
+     * The Figure 5 decision, exposed statically so shard merging can
+     * reclassify a shard's first access to a line against the previous
+     * shard's last access: contention needs a write on either side; then
+     * overlapping bytes mean true sharing, disjoint bytes false sharing.
+     */
+    static SharingOutcome classify(std::uint64_t prev_mask,
+                                   bool prev_write, std::uint64_t mask,
+                                   bool is_write);
+
+    /**
      * Model one access of @p size bytes at @p addr; accesses that would
      * cross the line boundary are clipped to the line.
      */

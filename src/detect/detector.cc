@@ -1,8 +1,5 @@
 #include "detect/detector.h"
 
-#include <algorithm>
-#include <map>
-
 namespace laser::detect {
 
 const char *
@@ -26,106 +23,42 @@ DetectionReport::findLine(const std::string &location) const
     return nullptr;
 }
 
+bool
+reportsIdentical(const DetectionReport &a, const DetectionReport &b)
+{
+    if (a.totalRecords != b.totalRecords ||
+            a.droppedPcFilter != b.droppedPcFilter ||
+            a.droppedStackData != b.droppedStackData ||
+            a.seconds != b.seconds ||
+            a.repairRequested != b.repairRequested ||
+            a.repairTriggerCycle != b.repairTriggerCycle ||
+            a.repairPcs != b.repairPcs ||
+            a.detectorCycles != b.detectorCycles ||
+            a.lines.size() != b.lines.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.lines.size(); ++i) {
+        const LineReport &la = a.lines[i];
+        const LineReport &lb = b.lines[i];
+        if (la.loc != lb.loc || la.location != lb.location ||
+                la.library != lb.library || la.records != lb.records ||
+                la.hitmRate != lb.hitmRate ||
+                la.tsEvents != lb.tsEvents ||
+                la.fsEvents != lb.fsEvents || la.type != lb.type) {
+            return false;
+        }
+    }
+    return true;
+}
+
 Detector::Detector(const isa::Program &prog,
                    const mem::AddressSpace &space, std::string maps_text,
                    const sim::TimingModel &timing, DetectorConfig cfg)
-    : prog_(prog),
-      space_(space),
-      maps_(maps_text),
-      sets_(prog),
-      timing_(timing),
-      cfg_(cfg)
+    : ctx_(std::make_unique<DetectorContext>(prog, space,
+                                             std::move(maps_text),
+                                             timing)),
+      pipeline_(*ctx_, cfg, DetectorPipeline::Mode::Streaming)
 {
-}
-
-void
-Detector::rateCheck(std::uint64_t now_cycle)
-{
-    if (repairRequested_ || now_cycle < windowStart_ + cfg_.rateCheckInterval)
-        return;
-
-    const double secs =
-        sim::representedSeconds(now_cycle - windowStart_);
-    if (secs > 0.0) {
-        const double fs_rate =
-            double(windowFs_) * cfg_.sav / secs;
-        const double hitm_rate =
-            double(windowRecords_) * cfg_.sav / secs;
-        const bool classified_fs = fs_rate >= cfg_.repairFsRateThreshold &&
-                                   windowFs_ >= windowTs_;
-        // Fallback for write-write contention whose record addresses are
-        // too noisy to classify (Section 7.4.1, linear_regression): the
-        // sheer HITM rate warrants a repair attempt only when almost
-        // nothing classified (so the evidence cannot point to true
-        // sharing).
-        const bool unclassifiable =
-            (windowTs_ + windowFs_) * 12 < windowRecords_;
-        const bool unclassified_storm =
-            hitm_rate >= cfg_.repairHitmRateThreshold && unclassifiable &&
-            windowTs_ <= std::max<std::uint64_t>(8, 4 * windowFs_);
-        if (classified_fs || unclassified_storm) {
-            repairRequested_ = true;
-            repairTriggerCycle_ = now_cycle;
-        }
-    }
-    windowStart_ = now_cycle;
-    windowRecords_ = 0;
-    windowFs_ = 0;
-    windowTs_ = 0;
-}
-
-void
-Detector::processRecord(const pebs::PebsRecord &rec)
-{
-    ++totalRecords_;
-
-    // Stage 1: PC filter against the process maps.
-    const PcClass pc_class = maps_.classifyPc(rec.pc);
-    if (pc_class == PcClass::Other) {
-        ++droppedPc_;
-        return;
-    }
-
-    // Stage 2: stack data addresses are ignored.
-    if (maps_.classifyData(rec.dataAddr) == DataClass::Stack) {
-        ++droppedStack_;
-        return;
-    }
-
-    // Stage 3: aggregate by PC (line aggregation happens at reporting).
-    const std::int64_t index = space_.pcToIndex(rec.pc);
-    if (index < 0) {
-        // Executable mapping but between instructions; treat as spurious.
-        ++droppedPc_;
-        return;
-    }
-    PcStats &ps = pcStats_[static_cast<std::uint32_t>(index)];
-    ++ps.records;
-    ++windowRecords_;
-
-    // Stage 4+5: decode the PC and run the cache-line model.
-    const isa::MemAccessInfo mi =
-        sets_.lookup(static_cast<std::uint32_t>(index));
-    if (mi.isLoad || mi.isStore) {
-        // Instructions in both sets are treated as stores; the record
-        // carries one address, so this is a documented inaccuracy
-        // (Section 4.3).
-        const bool is_write = mi.isStore;
-        const SharingOutcome outcome =
-            lineModel_.access(rec.dataAddr, mi.size, is_write);
-        if (outcome == SharingOutcome::TrueSharing) {
-            ++ps.ts;
-            ++tsEvents_;
-            ++windowTs_;
-        } else if (outcome == SharingOutcome::FalseSharing) {
-            ++ps.fs;
-            ++fsEvents_;
-            ++windowFs_;
-        }
-    }
-
-    // Stage 6: periodic repair-rate check (Section 4.4).
-    rateCheck(rec.cycle);
 }
 
 void
@@ -135,102 +68,7 @@ Detector::processAll(const std::vector<pebs::PebsRecord> &recs)
     // stream arrives in same-core bursts. Records carry timestamps;
     // processing them in time order restores the interleaving the
     // cache-line model needs to tell false from true sharing.
-    std::vector<pebs::PebsRecord> ordered(recs);
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [](const pebs::PebsRecord &a,
-                        const pebs::PebsRecord &b) {
-                         return a.cycle < b.cycle;
-                     });
-    for (const pebs::PebsRecord &rec : ordered)
-        processRecord(rec);
-}
-
-DetectionReport
-Detector::finish(std::uint64_t total_cycles)
-{
-    DetectionReport report;
-    report.totalRecords = totalRecords_;
-    report.droppedPcFilter = droppedPc_;
-    report.droppedStackData = droppedStack_;
-    report.seconds = sim::representedSeconds(total_cycles);
-    report.repairRequested = repairRequested_;
-    report.repairTriggerCycle = repairTriggerCycle_;
-    report.detectorCycles =
-        totalRecords_ * std::uint64_t(timing_.detectorPerRecord);
-
-    // Aggregate per-PC stats into per-source-line findings.
-    struct LineAgg
-    {
-        std::uint64_t records = 0;
-        std::uint64_t ts = 0;
-        std::uint64_t fs = 0;
-    };
-    std::map<isa::SourceLoc, LineAgg> by_line;
-    for (const auto &[index, ps] : pcStats_) {
-        const isa::SourceLoc loc = prog_.locOf(index);
-        LineAgg &agg = by_line[loc];
-        agg.records += ps.records;
-        agg.ts += ps.ts;
-        agg.fs += ps.fs;
-    }
-
-    for (const auto &[loc, agg] : by_line) {
-        LineReport lr;
-        lr.loc = loc;
-        lr.location = prog_.locString(loc);
-        lr.library = loc.file < prog_.files.size() &&
-                     prog_.files[loc.file].isLibrary;
-        lr.records = agg.records;
-        lr.hitmRate = report.seconds > 0.0
-                          ? double(agg.records) * cfg_.sav / report.seconds
-                          : 0.0;
-        lr.tsEvents = agg.ts;
-        lr.fsEvents = agg.fs;
-
-        const std::uint64_t classified = agg.ts + agg.fs;
-        if (classified < cfg_.minClassifiedEvents ||
-                double(classified) <
-                    cfg_.minClassifiedFraction * double(agg.records)) {
-            lr.type = ContentionType::Unknown;
-        } else if (agg.fs > agg.ts) {
-            lr.type = ContentionType::FalseSharing;
-        } else {
-            lr.type = ContentionType::TrueSharing;
-        }
-
-        if (lr.hitmRate >= cfg_.rateThreshold)
-            report.lines.push_back(std::move(lr));
-    }
-
-    // Tie-break equal rates on location so the report order is stable
-    // across runs and identical between live and trace-replayed passes.
-    std::sort(report.lines.begin(), report.lines.end(),
-              [](const LineReport &a, const LineReport &b) {
-                  if (a.hitmRate != b.hitmRate)
-                      return a.hitmRate > b.hitmRate;
-                  return a.location < b.location;
-              });
-
-    // PCs handed to LASERREPAIR: hot application-code PCs. Only memory
-    // operations can contend, so non-memory PCs (record-skid artifacts)
-    // are excluded before the static analysis sees them.
-    if (repairRequested_) {
-        std::uint64_t max_records = 0;
-        for (const auto &[index, ps] : pcStats_)
-            max_records = std::max(max_records, ps.records);
-        for (const auto &[index, ps] : pcStats_) {
-            if (ps.records * 4 < max_records)
-                continue;
-            const isa::MemAccessInfo mi = sets_.lookup(index);
-            if (!mi.isLoad && !mi.isStore)
-                continue;
-            const isa::Segment *seg = prog_.segmentOf(index);
-            if (seg && !seg->isLibrary)
-                report.repairPcs.push_back(index);
-        }
-        std::sort(report.repairPcs.begin(), report.repairPcs.end());
-    }
-    return report;
+    analysis::drainSorted(recs, pipeline_);
 }
 
 } // namespace laser::detect

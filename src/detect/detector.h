@@ -20,19 +20,24 @@
  * line. When data addresses are too noisy to classify (the write-write
  * pattern of linear_regression at -O3), a line's contention type is
  * reported as Unknown rather than guessed.
+ *
+ * This header keeps the classic streaming facade. The pipeline itself
+ * is factored into detect/pipeline.h (DetectorContext +
+ * DetectorPipeline, an analysis::RecordSink) over the mergeable
+ * detect/detector_state.h, which is what sharded parallel replay
+ * (trace/parallel_replay.h) builds on.
  */
 
 #ifndef LASER_DETECT_DETECTOR_H
 #define LASER_DETECT_DETECTOR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "detect/cacheline_model.h"
-#include "detect/maps_filter.h"
-#include "isa/decode.h"
+#include "detect/pipeline.h"
+#include "detect/types.h"
 #include "isa/program.h"
 #include "mem/address_space.h"
 #include "pebs/record.h"
@@ -40,77 +45,11 @@
 
 namespace laser::detect {
 
-/** Contention type reported per source line (Table 2). */
-enum class ContentionType : std::uint8_t {
-    Unknown,
-    TrueSharing,
-    FalseSharing,
-};
-
-/** Printable name ("TS", "FS", "unknown"). */
-const char *contentionTypeName(ContentionType type);
-
-/** Detector tuning knobs. */
-struct DetectorConfig
-{
-    /**
-     * Reporting rate threshold in HITM events per (represented) second;
-     * the paper's default is 1K HITMs/sec (Section 7.1).
-     */
-    double rateThreshold = 1000.0;
-    /** Sample-after value used to scale record counts to event counts. */
-    std::uint32_t sav = 19;
-    /** False-sharing event rate that triggers online repair. */
-    double repairFsRateThreshold = 3'500.0;
-    /**
-     * Fallback repair trigger: a raw HITM rate so high that repair is
-     * attempted even when addresses are too noisy to type the contention
-     * (the linear_regression write-write case).
-     */
-    double repairHitmRateThreshold = 16'000.0;
-    /** Cycles between online rate checks. */
-    std::uint64_t rateCheckInterval = 150'000;
-    /** Classification evidence floor: fewer events => Unknown. */
-    std::uint64_t minClassifiedEvents = 8;
-    /** ...and as a fraction of the line's records. */
-    double minClassifiedFraction = 0.02;
-};
-
-/** Per-source-line finding. */
-struct LineReport
-{
-    isa::SourceLoc loc;
-    std::string location; ///< "file:line"
-    bool library = false;
-    std::uint64_t records = 0;
-    /** Estimated HITM events/sec (records * SAV / seconds). */
-    double hitmRate = 0.0;
-    std::uint64_t tsEvents = 0;
-    std::uint64_t fsEvents = 0;
-    ContentionType type = ContentionType::Unknown;
-};
-
-/** Full detection output. */
-struct DetectionReport
-{
-    /** Lines above the rate threshold, sorted by rate, descending. */
-    std::vector<LineReport> lines;
-    std::uint64_t totalRecords = 0;
-    std::uint64_t droppedPcFilter = 0;
-    std::uint64_t droppedStackData = 0;
-    double seconds = 0.0;
-    bool repairRequested = false;
-    std::uint64_t repairTriggerCycle = 0;
-    /** App-code instruction indices implicated in the repair request. */
-    std::vector<std::uint32_t> repairPcs;
-    /** Detector-process CPU cycles (Figure 12). */
-    std::uint64_t detectorCycles = 0;
-
-    /** Find a reported line by exact location string; nullptr if none. */
-    const LineReport *findLine(const std::string &location) const;
-};
-
-/** The streaming detector. */
+/**
+ * The streaming detector: a DetectorPipeline that owns its context.
+ * Convenient for one-shot live runs; replay paths share one
+ * DetectorContext across many pipelines instead.
+ */
 class Detector
 {
   public:
@@ -119,50 +58,29 @@ class Detector
              DetectorConfig cfg = {});
 
     /** Push one record through the pipeline. */
-    void processRecord(const pebs::PebsRecord &rec);
+    void processRecord(const pebs::PebsRecord &rec)
+    {
+        pipeline_.onRecord(rec);
+    }
 
-    /** Push a whole stream. */
+    /** Push a whole stream (restores canonical cycle order first). */
     void processAll(const std::vector<pebs::PebsRecord> &recs);
 
     /** Finalize and build the report. @p total_cycles is the run length. */
-    DetectionReport finish(std::uint64_t total_cycles);
+    DetectionReport finish(std::uint64_t total_cycles) const
+    {
+        return pipeline_.finish(total_cycles);
+    }
 
     /** True once the online rate check has requested repair. */
-    bool repairRequested() const { return repairRequested_; }
+    bool repairRequested() const { return pipeline_.repairRequested(); }
+
+    /** The sink to hand to an analysis-stream driver. */
+    analysis::RecordSink &sink() { return pipeline_; }
 
   private:
-    struct PcStats
-    {
-        std::uint64_t records = 0;
-        std::uint64_t ts = 0;
-        std::uint64_t fs = 0;
-    };
-
-    void rateCheck(std::uint64_t now_cycle);
-
-    const isa::Program &prog_;
-    const mem::AddressSpace &space_;
-    MapsFilter maps_;
-    isa::LoadStoreSets sets_;
-    sim::TimingModel timing_;
-    DetectorConfig cfg_;
-
-    std::unordered_map<std::uint32_t, PcStats> pcStats_;
-    CacheLineModel lineModel_;
-
-    std::uint64_t totalRecords_ = 0;
-    std::uint64_t droppedPc_ = 0;
-    std::uint64_t droppedStack_ = 0;
-    std::uint64_t fsEvents_ = 0;
-    std::uint64_t tsEvents_ = 0;
-
-    // Online repair-trigger state.
-    std::uint64_t windowStart_ = 0;
-    std::uint64_t windowRecords_ = 0;
-    std::uint64_t windowFs_ = 0;
-    std::uint64_t windowTs_ = 0;
-    bool repairRequested_ = false;
-    std::uint64_t repairTriggerCycle_ = 0;
+    std::unique_ptr<DetectorContext> ctx_;
+    DetectorPipeline pipeline_;
 };
 
 } // namespace laser::detect

@@ -1,0 +1,108 @@
+#include "detect/detector_state.h"
+
+#include <algorithm>
+
+#include "sim/timing.h"
+
+namespace laser::detect {
+
+void
+DetectorState::mergeFrom(DetectorState &&next)
+{
+    const std::uint64_t offset = rateEvents.size();
+
+    // Boundary reconciliation: the serial pass would have classified the
+    // first access to each line in `next` against this state's last
+    // access to that line. Patch `next`'s own counters and events first
+    // so the wholesale fold below stays simple.
+    for (auto &[lineAddr, ls] : next.lines) {
+        auto it = lines.find(lineAddr);
+        if (it == lines.end()) {
+            ls.firstEvent += offset;
+            lines.emplace(lineAddr, ls);
+            continue;
+        }
+        LineState &acc = it->second;
+        const SharingOutcome outcome = CacheLineModel::classify(
+            acc.lastMask, acc.lastWrite, ls.firstMask, ls.firstWrite);
+        if (outcome != SharingOutcome::None) {
+            next.rateEvents[ls.firstEvent].outcome = outcome;
+            PcStats &ps = next.pcStats[ls.firstPc];
+            if (outcome == SharingOutcome::TrueSharing) {
+                ++ps.ts;
+                ++next.tsEvents;
+            } else {
+                ++ps.fs;
+                ++next.fsEvents;
+            }
+        }
+        acc.lastMask = ls.lastMask;
+        acc.lastWrite = ls.lastWrite;
+    }
+
+    for (const auto &[pc, ps] : next.pcStats) {
+        PcStats &dst = pcStats[pc];
+        dst.records += ps.records;
+        dst.ts += ps.ts;
+        dst.fs += ps.fs;
+    }
+    totalRecords += next.totalRecords;
+    droppedPc += next.droppedPc;
+    droppedStack += next.droppedStack;
+    tsEvents += next.tsEvents;
+    fsEvents += next.fsEvents;
+    rateEvents.insert(rateEvents.end(), next.rateEvents.begin(),
+                      next.rateEvents.end());
+}
+
+void
+RateScanState::step(std::uint64_t cycle, SharingOutcome outcome,
+                    const DetectorConfig &cfg)
+{
+    ++windowRecords;
+    if (outcome == SharingOutcome::TrueSharing)
+        ++windowTs;
+    else if (outcome == SharingOutcome::FalseSharing)
+        ++windowFs;
+
+    if (repairRequested || cycle < windowStart + cfg.rateCheckInterval)
+        return;
+
+    const double secs = sim::representedSeconds(cycle - windowStart);
+    if (secs > 0.0) {
+        const double fs_rate = double(windowFs) * cfg.sav / secs;
+        const double hitm_rate = double(windowRecords) * cfg.sav / secs;
+        const bool classified_fs =
+            fs_rate >= cfg.repairFsRateThreshold && windowFs >= windowTs;
+        // Fallback for write-write contention whose record addresses are
+        // too noisy to classify (Section 7.4.1, linear_regression): the
+        // sheer HITM rate warrants a repair attempt only when almost
+        // nothing classified (so the evidence cannot point to true
+        // sharing).
+        const bool unclassifiable =
+            (windowTs + windowFs) * 12 < windowRecords;
+        const bool unclassified_storm =
+            hitm_rate >= cfg.repairHitmRateThreshold && unclassifiable &&
+            windowTs <= std::max<std::uint64_t>(8, 4 * windowFs);
+        if (classified_fs || unclassified_storm) {
+            repairRequested = true;
+            repairTriggerCycle = cycle;
+        }
+    }
+    windowStart = cycle;
+    windowRecords = 0;
+    windowFs = 0;
+    windowTs = 0;
+}
+
+RateScanState
+scanRateEvents(const std::vector<RateEvent> &events,
+               const DetectorConfig &cfg)
+{
+    RateScanState scan;
+    for (const RateEvent &ev : events)
+        scan.step(ev.cycle, ev.outcome, cfg);
+    return scan;
+}
+
+} // namespace laser::detect

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Mergeable detector state: everything LASERDETECT accumulates while
+ * digesting a record stream, factored so that per-time-window shards of
+ * one stream can be digested independently and merged back into exactly
+ * the state a serial pass would have produced.
+ *
+ * Three observations make this work:
+ *
+ *  1. Stages 1-5 of the pipeline (PC/stack filtering, per-PC
+ *     aggregation, load/store-set decode, the cache-line model) never
+ *     read the DetectorConfig. The digest is therefore a pure,
+ *     config-independent function of the stream — one digest serves
+ *     every threshold/SAV/repair configuration (report-many).
+ *
+ *  2. The cache-line model is a per-line *last-access* model: after the
+ *     first access to a line, a shard's per-line state is identical to
+ *     the serial pass's. The only divergence is the classification of
+ *     each line's first access within a shard, which the serial pass
+ *     would have classified against the previous shard's last access.
+ *     DetectorState records that first access (mask, write-ness, PC,
+ *     rate-event index), and mergeFrom() reclassifies it — restoring
+ *     per-PC and per-window TS/FS counts to their exact serial values.
+ *
+ *  3. The online repair trigger (Section 4.4) is a sequential scan over
+ *     (cycle, outcome) pairs of the filtered stream. Shards collect
+ *     those pairs as RateEvents; after the window-order merge patches
+ *     outcomes, scanRateEvents() replays the serial state machine over
+ *     the concatenation, preserving online repair-trigger semantics.
+ */
+
+#ifndef LASER_DETECT_DETECTOR_STATE_H
+#define LASER_DETECT_DETECTOR_STATE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/cacheline_model.h"
+#include "detect/types.h"
+
+namespace laser::detect {
+
+/**
+ * One filtered record's contribution to the rate scan: its cycle and
+ * its sharing classification. Collected in shard digests; the serial
+ * streaming pipeline runs the scan inline instead of collecting.
+ */
+struct RateEvent
+{
+    std::uint64_t cycle = 0;
+    SharingOutcome outcome = SharingOutcome::None;
+};
+
+/** The accumulated digest of (a shard of) a record stream. */
+struct DetectorState
+{
+    struct PcStats
+    {
+        std::uint64_t records = 0;
+        std::uint64_t ts = 0;
+        std::uint64_t fs = 0;
+    };
+
+    /** Per-cache-line model state plus the merge fix-up bookkeeping. */
+    struct LineState
+    {
+        std::uint64_t lastMask = 0;
+        bool lastWrite = false;
+        /** First access to this line within this state's stream span. */
+        std::uint64_t firstMask = 0;
+        bool firstWrite = false;
+        std::uint32_t firstPc = 0;
+        /** Index of that access's RateEvent (valid when collected). */
+        std::uint64_t firstEvent = 0;
+    };
+
+    std::unordered_map<std::uint32_t, PcStats> pcStats;
+    std::unordered_map<std::uint64_t, LineState> lines;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t droppedPc = 0;
+    std::uint64_t droppedStack = 0;
+    std::uint64_t tsEvents = 0;
+    std::uint64_t fsEvents = 0;
+    /** (cycle, outcome) per filtered record, in stream order. */
+    std::vector<RateEvent> rateEvents;
+
+    /**
+     * Absorb @p next, the digest of the records immediately following
+     * this state's span. Reclassifies each line's first access in
+     * @p next against this state's last access to the same line
+     * (patching @p next's counters and rate events in place first),
+     * then folds counters and concatenates rate events. Associative, so
+     * shards may be merged pairwise or left-to-right — but always in
+     * stream (time-window) order.
+     */
+    void mergeFrom(DetectorState &&next);
+};
+
+/** The Section 4.4 online repair-trigger state machine. */
+struct RateScanState
+{
+    std::uint64_t windowStart = 0;
+    std::uint64_t windowRecords = 0;
+    std::uint64_t windowFs = 0;
+    std::uint64_t windowTs = 0;
+    bool repairRequested = false;
+    std::uint64_t repairTriggerCycle = 0;
+
+    /** Account one filtered record, then run the periodic rate check. */
+    void step(std::uint64_t cycle, SharingOutcome outcome,
+              const DetectorConfig &cfg);
+};
+
+/**
+ * Replay the online repair-trigger scan over a merged event stream —
+ * the sequential merge-time pass that gives sharded replay the exact
+ * serial repair semantics.
+ */
+RateScanState scanRateEvents(const std::vector<RateEvent> &events,
+                             const DetectorConfig &cfg);
+
+} // namespace laser::detect
+
+#endif // LASER_DETECT_DETECTOR_STATE_H

@@ -1,0 +1,198 @@
+#include "detect/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace laser::detect {
+
+DetectorContext::DetectorContext(const isa::Program &prog,
+                                 const mem::AddressSpace &space,
+                                 std::string maps_text,
+                                 const sim::TimingModel &timing)
+    : prog(prog),
+      space(space),
+      maps(std::move(maps_text)),
+      sets(prog),
+      timing(timing)
+{
+}
+
+DetectorPipeline::DetectorPipeline(const DetectorContext &ctx,
+                                   DetectorConfig cfg, Mode mode)
+    : ctx_(ctx), cfg_(cfg), mode_(mode)
+{
+}
+
+void
+DetectorPipeline::onRecord(const pebs::PebsRecord &rec)
+{
+    ++state_.totalRecords;
+
+    // Stage 1: PC filter against the process maps.
+    const PcClass pc_class = ctx_.maps.classifyPc(rec.pc);
+    if (pc_class == PcClass::Other) {
+        ++state_.droppedPc;
+        return;
+    }
+
+    // Stage 2: stack data addresses are ignored.
+    if (ctx_.maps.classifyData(rec.dataAddr) == DataClass::Stack) {
+        ++state_.droppedStack;
+        return;
+    }
+
+    // Stage 3: aggregate by PC (line aggregation happens at reporting).
+    const std::int64_t index = ctx_.space.pcToIndex(rec.pc);
+    if (index < 0) {
+        // Executable mapping but between instructions; treat as spurious.
+        ++state_.droppedPc;
+        return;
+    }
+    const std::uint32_t pc_index = static_cast<std::uint32_t>(index);
+    DetectorState::PcStats &ps = state_.pcStats[pc_index];
+    ++ps.records;
+
+    // Stage 4+5: decode the PC and run the cache-line model.
+    SharingOutcome outcome = SharingOutcome::None;
+    const isa::MemAccessInfo mi = ctx_.sets.lookup(pc_index);
+    if (mi.isLoad || mi.isStore) {
+        // Instructions in both sets are treated as stores; the record
+        // carries one address, so this is a documented inaccuracy
+        // (Section 4.3).
+        const bool is_write = mi.isStore;
+        const std::uint64_t line =
+            rec.dataAddr / CacheLineModel::kLineBytes;
+        const std::uint64_t mask =
+            CacheLineModel::byteMask(rec.dataAddr, mi.size);
+
+        auto [it, inserted] = state_.lines.try_emplace(line);
+        DetectorState::LineState &ls = it->second;
+        if (inserted) {
+            // First touch of this line in this span: unclassifiable here;
+            // remembered so a window-order merge can reclassify it
+            // against the preceding span's last access.
+            ls.firstMask = mask;
+            ls.firstWrite = is_write;
+            ls.firstPc = pc_index;
+            ls.firstEvent = state_.rateEvents.size();
+        } else {
+            outcome = CacheLineModel::classify(ls.lastMask, ls.lastWrite,
+                                               mask, is_write);
+        }
+        ls.lastMask = mask;
+        ls.lastWrite = is_write;
+
+        if (outcome == SharingOutcome::TrueSharing) {
+            ++ps.ts;
+            ++state_.tsEvents;
+        } else if (outcome == SharingOutcome::FalseSharing) {
+            ++ps.fs;
+            ++state_.fsEvents;
+        }
+    }
+
+    // Stage 6: periodic repair-rate check (Section 4.4) — online when
+    // streaming, deferred to the merge-time scan when digesting a shard.
+    if (mode_ == Mode::Streaming)
+        scan_.step(rec.cycle, outcome, cfg_);
+    else
+        state_.rateEvents.push_back({rec.cycle, outcome});
+}
+
+DetectionReport
+DetectorPipeline::finish(std::uint64_t total_cycles) const
+{
+    return buildReport(ctx_, cfg_, state_, scan_, total_cycles);
+}
+
+DetectionReport
+buildReport(const DetectorContext &ctx, const DetectorConfig &cfg,
+            const DetectorState &state, const RateScanState &scan,
+            std::uint64_t total_cycles)
+{
+    DetectionReport report;
+    report.totalRecords = state.totalRecords;
+    report.droppedPcFilter = state.droppedPc;
+    report.droppedStackData = state.droppedStack;
+    report.seconds = sim::representedSeconds(total_cycles);
+    report.repairRequested = scan.repairRequested;
+    report.repairTriggerCycle = scan.repairTriggerCycle;
+    report.detectorCycles =
+        state.totalRecords * std::uint64_t(ctx.timing.detectorPerRecord);
+
+    // Aggregate per-PC stats into per-source-line findings.
+    struct LineAgg
+    {
+        std::uint64_t records = 0;
+        std::uint64_t ts = 0;
+        std::uint64_t fs = 0;
+    };
+    std::map<isa::SourceLoc, LineAgg> by_line;
+    for (const auto &[index, ps] : state.pcStats) {
+        const isa::SourceLoc loc = ctx.prog.locOf(index);
+        LineAgg &agg = by_line[loc];
+        agg.records += ps.records;
+        agg.ts += ps.ts;
+        agg.fs += ps.fs;
+    }
+
+    for (const auto &[loc, agg] : by_line) {
+        LineReport lr;
+        lr.loc = loc;
+        lr.location = ctx.prog.locString(loc);
+        lr.library = loc.file < ctx.prog.files.size() &&
+                     ctx.prog.files[loc.file].isLibrary;
+        lr.records = agg.records;
+        lr.hitmRate = report.seconds > 0.0
+                          ? double(agg.records) * cfg.sav / report.seconds
+                          : 0.0;
+        lr.tsEvents = agg.ts;
+        lr.fsEvents = agg.fs;
+
+        const std::uint64_t classified = agg.ts + agg.fs;
+        if (classified < cfg.minClassifiedEvents ||
+                double(classified) <
+                    cfg.minClassifiedFraction * double(agg.records)) {
+            lr.type = ContentionType::Unknown;
+        } else if (agg.fs > agg.ts) {
+            lr.type = ContentionType::FalseSharing;
+        } else {
+            lr.type = ContentionType::TrueSharing;
+        }
+
+        if (lr.hitmRate >= cfg.rateThreshold)
+            report.lines.push_back(std::move(lr));
+    }
+
+    // Tie-break equal rates on location so the report order is stable
+    // across runs and identical between live and trace-replayed passes.
+    std::sort(report.lines.begin(), report.lines.end(),
+              [](const LineReport &a, const LineReport &b) {
+                  if (a.hitmRate != b.hitmRate)
+                      return a.hitmRate > b.hitmRate;
+                  return a.location < b.location;
+              });
+
+    // PCs handed to LASERREPAIR: hot application-code PCs. Only memory
+    // operations can contend, so non-memory PCs (record-skid artifacts)
+    // are excluded before the static analysis sees them.
+    if (scan.repairRequested) {
+        std::uint64_t max_records = 0;
+        for (const auto &[index, ps] : state.pcStats)
+            max_records = std::max(max_records, ps.records);
+        for (const auto &[index, ps] : state.pcStats) {
+            if (ps.records * 4 < max_records)
+                continue;
+            const isa::MemAccessInfo mi = ctx.sets.lookup(index);
+            if (!mi.isLoad && !mi.isStore)
+                continue;
+            const isa::Segment *seg = ctx.prog.segmentOf(index);
+            if (seg && !seg->isLibrary)
+                report.repairPcs.push_back(index);
+        }
+        std::sort(report.repairPcs.begin(), report.repairPcs.end());
+    }
+    return report;
+}
+
+} // namespace laser::detect

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The thin streaming pipeline over DetectorState, and the shared report
+ * builder.
+ *
+ * DetectorContext holds everything a pipeline needs that is derived
+ * from the program and its address space — the parsed /proc maps, the
+ * load/store sets, the timing model. It is immutable after construction
+ * and safe to share across concurrent shard pipelines, so a parallel
+ * replay parses the maps and decodes the program exactly once.
+ *
+ * DetectorPipeline implements analysis::RecordSink: the live
+ * ExperimentRunner path and trace::TraceReplayer both drive it through
+ * the same interface. In Streaming mode it runs the Section 4.4 rate
+ * check online (the classic Detector behaviour); in Shard mode it
+ * collects RateEvents instead, deferring repair semantics to the
+ * merge-time sequential scan.
+ */
+
+#ifndef LASER_DETECT_PIPELINE_H
+#define LASER_DETECT_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/sink.h"
+#include "detect/detector_state.h"
+#include "detect/maps_filter.h"
+#include "detect/types.h"
+#include "isa/decode.h"
+#include "isa/program.h"
+#include "mem/address_space.h"
+#include "sim/timing.h"
+
+namespace laser::detect {
+
+/** Shared, immutable per-program replay environment. */
+struct DetectorContext
+{
+    const isa::Program &prog;
+    const mem::AddressSpace &space;
+    MapsFilter maps;
+    isa::LoadStoreSets sets;
+    sim::TimingModel timing;
+
+    DetectorContext(const isa::Program &prog,
+                    const mem::AddressSpace &space, std::string maps_text,
+                    const sim::TimingModel &timing);
+};
+
+/** One pass of stages 1-6 over (a shard of) a record stream. */
+class DetectorPipeline final : public analysis::RecordSink
+{
+  public:
+    enum class Mode : std::uint8_t {
+        /** Online rate check per record; no RateEvents collected. */
+        Streaming,
+        /** Collect RateEvents; rate semantics applied at merge time. */
+        Shard,
+    };
+
+    explicit DetectorPipeline(const DetectorContext &ctx,
+                              DetectorConfig cfg = {},
+                              Mode mode = Mode::Streaming);
+
+    /** Push one record through stages 1-5 (and 6 when streaming). */
+    void onRecord(const pebs::PebsRecord &rec) override;
+
+    /** True once the online rate check has requested repair. */
+    bool repairRequested() const { return scan_.repairRequested; }
+
+    const DetectorState &state() const { return state_; }
+    DetectorState takeState() { return std::move(state_); }
+
+    /** Streaming-mode finalize: build the report from the inline scan. */
+    DetectionReport finish(std::uint64_t total_cycles) const;
+
+    const DetectorContext &context() const { return ctx_; }
+    const DetectorConfig &config() const { return cfg_; }
+
+  private:
+    const DetectorContext &ctx_;
+    DetectorConfig cfg_;
+    Mode mode_;
+    DetectorState state_;
+    RateScanState scan_;
+};
+
+/**
+ * Build the DetectionReport from a digested state and a completed rate
+ * scan. Pure: serial and shard-merged paths call the same function, so
+ * their reports can only differ if their states differ.
+ */
+DetectionReport buildReport(const DetectorContext &ctx,
+                            const DetectorConfig &cfg,
+                            const DetectorState &state,
+                            const RateScanState &scan,
+                            std::uint64_t total_cycles);
+
+} // namespace laser::detect
+
+#endif // LASER_DETECT_PIPELINE_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * LASERDETECT configuration and report types, shared by the streaming
+ * detector, the mergeable shard pipeline and the replay layers.
+ *
+ * DetectorConfig is split conceptually in two: the knobs that shape the
+ * *digest* (none — stages 1-5 of the pipeline are config-independent,
+ * which is what makes one digest reusable across every configuration)
+ * and the knobs consumed by the rate scan and report builder (all of
+ * them). See detector_state.h for the consequences.
+ */
+
+#ifndef LASER_DETECT_TYPES_H
+#define LASER_DETECT_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace laser::detect {
+
+/** Contention type reported per source line (Table 2). */
+enum class ContentionType : std::uint8_t {
+    Unknown,
+    TrueSharing,
+    FalseSharing,
+};
+
+/** Printable name ("TS", "FS", "unknown"). */
+const char *contentionTypeName(ContentionType type);
+
+/** Detector tuning knobs. */
+struct DetectorConfig
+{
+    /**
+     * Reporting rate threshold in HITM events per (represented) second;
+     * the paper's default is 1K HITMs/sec (Section 7.1).
+     */
+    double rateThreshold = 1000.0;
+    /** Sample-after value used to scale record counts to event counts. */
+    std::uint32_t sav = 19;
+    /** False-sharing event rate that triggers online repair. */
+    double repairFsRateThreshold = 3'500.0;
+    /**
+     * Fallback repair trigger: a raw HITM rate so high that repair is
+     * attempted even when addresses are too noisy to type the contention
+     * (the linear_regression write-write case).
+     */
+    double repairHitmRateThreshold = 16'000.0;
+    /** Cycles between online rate checks. */
+    std::uint64_t rateCheckInterval = 150'000;
+    /** Classification evidence floor: fewer events => Unknown. */
+    std::uint64_t minClassifiedEvents = 8;
+    /** ...and as a fraction of the line's records. */
+    double minClassifiedFraction = 0.02;
+};
+
+/** Per-source-line finding. */
+struct LineReport
+{
+    isa::SourceLoc loc;
+    std::string location; ///< "file:line"
+    bool library = false;
+    std::uint64_t records = 0;
+    /** Estimated HITM events/sec (records * SAV / seconds). */
+    double hitmRate = 0.0;
+    std::uint64_t tsEvents = 0;
+    std::uint64_t fsEvents = 0;
+    ContentionType type = ContentionType::Unknown;
+};
+
+/** Full detection output. */
+struct DetectionReport
+{
+    /** Lines above the rate threshold, sorted by rate, descending. */
+    std::vector<LineReport> lines;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t droppedPcFilter = 0;
+    std::uint64_t droppedStackData = 0;
+    double seconds = 0.0;
+    bool repairRequested = false;
+    std::uint64_t repairTriggerCycle = 0;
+    /** App-code instruction indices implicated in the repair request. */
+    std::vector<std::uint32_t> repairPcs;
+    /** Detector-process CPU cycles (Figure 12). */
+    std::uint64_t detectorCycles = 0;
+
+    /** Find a reported line by exact location string; nullptr if none. */
+    const LineReport *findLine(const std::string &location) const;
+};
+
+/**
+ * Field-exact equality of two reports, including line order and repair
+ * PCs — the invariant checked between serial and shard-merged replays.
+ */
+bool reportsIdentical(const DetectionReport &a, const DetectionReport &b);
+
+} // namespace laser::detect
+
+#endif // LASER_DETECT_TYPES_H

@@ -74,12 +74,15 @@ class PmuSink
      * A synchronization operation completed (successful lock acquire,
      * lock release, or barrier arrival). @p dirty_pages is the number of
      * pages the thread dirtied since its previous sync point (only
-     * tracked when MachineConfig::trackDirtyPages is set).
+     * tracked when MachineConfig::trackDirtyPages is set); @p cycle is
+     * the core-local clock, so sinks can emit capturable, time-ordered
+     * sync streams.
      */
     virtual std::uint64_t
-    onSync(int core, isa::SyncKind kind, std::uint64_t dirty_pages)
+    onSync(int core, isa::SyncKind kind, std::uint64_t dirty_pages,
+           std::uint64_t cycle)
     {
-        (void)core; (void)kind; (void)dirty_pages;
+        (void)core; (void)kind; (void)dirty_pages; (void)cycle;
         return 0;
     }
 };

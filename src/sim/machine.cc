@@ -187,7 +187,8 @@ Machine::syncComplete(ThreadCtx &t, SyncKind kind)
     if (sink_) {
         cost = sink_->onSync(t.tid, kind,
                              static_cast<std::uint64_t>(
-                                 t.dirtyPages.size()));
+                                 t.dirtyPages.size()),
+                             t.clock);
     }
     if (cfg_.trackDirtyPages)
         t.dirtyPages.clear();
@@ -217,24 +218,41 @@ Machine::execute(ThreadCtx &t)
       case Op::MovReg:
         setReg(t, insn.dst, t.regs[insn.src1]);
         break;
+      // ALU arithmetic wraps modulo 2^64 like the hardware it models;
+      // compute unsigned to keep overflow defined.
       case Op::Add:
-        setReg(t, insn.dst, t.regs[insn.src1] + t.regs[insn.src2]);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(regU(insn.src1) +
+                                         regU(insn.src2)));
         break;
       case Op::AddImm:
-        setReg(t, insn.dst, t.regs[insn.src1] + insn.imm);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(
+                   regU(insn.src1) +
+                   static_cast<std::uint64_t>(insn.imm)));
         break;
       case Op::Sub:
-        setReg(t, insn.dst, t.regs[insn.src1] - t.regs[insn.src2]);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(regU(insn.src1) -
+                                         regU(insn.src2)));
         break;
       case Op::SubImm:
-        setReg(t, insn.dst, t.regs[insn.src1] - insn.imm);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(
+                   regU(insn.src1) -
+                   static_cast<std::uint64_t>(insn.imm)));
         break;
       case Op::Mul:
-        setReg(t, insn.dst, t.regs[insn.src1] * t.regs[insn.src2]);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(regU(insn.src1) *
+                                         regU(insn.src2)));
         cost += 2; // multiply latency
         break;
       case Op::MulImm:
-        setReg(t, insn.dst, t.regs[insn.src1] * insn.imm);
+        setReg(t, insn.dst,
+               static_cast<std::int64_t>(
+                   regU(insn.src1) *
+                   static_cast<std::uint64_t>(insn.imm)));
         cost += 2;
         break;
       case Op::And:

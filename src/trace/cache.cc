@@ -1,0 +1,92 @@
+#include "trace/cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace laser::trace {
+
+namespace fs = std::filesystem;
+
+TraceStatus
+readTraceHeader(const std::string &path, std::uint64_t *config_hash)
+{
+    *config_hash = 0;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return TraceStatus::IoError;
+    std::uint8_t header[20]; // magic + version + endian + config hash
+    const std::size_t n = std::fread(header, 1, sizeof header, f);
+    std::fclose(f);
+    if (n < sizeof header)
+        return TraceStatus::Truncated;
+    if (std::memcmp(header, kTraceMagic, 4) != 0)
+        return TraceStatus::BadMagic;
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+    if (version != kTraceVersion)
+        return TraceStatus::BadVersion;
+    std::uint32_t endian = 0;
+    for (int i = 0; i < 4; ++i)
+        endian |= static_cast<std::uint32_t>(header[8 + i]) << (8 * i);
+    if (endian != kTraceEndianMarker)
+        return TraceStatus::BadEndianness;
+    std::uint64_t hash = 0;
+    for (int i = 0; i < 8; ++i)
+        hash |= static_cast<std::uint64_t>(header[12 + i]) << (8 * i);
+    *config_hash = hash;
+    return TraceStatus::Ok;
+}
+
+std::vector<CacheEntry>
+listTraceCache(const std::string &dir)
+{
+    std::vector<CacheEntry> entries;
+    std::error_code ec;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (de.path().extension() != kTraceExtension)
+            continue;
+        CacheEntry entry;
+        entry.path = de.path().string();
+        entry.bytes = de.file_size(ec);
+        entry.mtime = de.last_write_time(ec);
+        entry.status = readTraceHeader(entry.path, &entry.configHash);
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheEntry &a, const CacheEntry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path; // deterministic tie-break
+              });
+    return entries;
+}
+
+CacheGcResult
+gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
+{
+    CacheGcResult result;
+    const std::vector<CacheEntry> entries = listTraceCache(dir);
+    result.scanned = entries.size();
+    for (const CacheEntry &entry : entries)
+        result.bytesBefore += entry.bytes;
+    result.bytesAfter = result.bytesBefore;
+
+    // Oldest-first (the list is already in eviction order): delete until
+    // the budget holds.
+    for (const CacheEntry &entry : entries) {
+        if (result.bytesAfter <= max_bytes)
+            break;
+        std::error_code ec;
+        if (fs::remove(entry.path, ec) && !ec) {
+            ++result.evicted;
+            result.bytesAfter -= entry.bytes;
+        }
+    }
+    return result;
+}
+
+} // namespace laser::trace

@@ -1,9 +1,41 @@
 #include "trace/capture.h"
 
+#include <stdexcept>
+
+#include "analysis/sink.h"
+#include "baselines/sheriff.h"
+#include "baselines/vtune.h"
 #include "pebs/monitor.h"
 #include "sim/machine.h"
 
 namespace laser::trace {
+
+namespace {
+
+bool
+isSheriffScheme(const std::string &scheme)
+{
+    return scheme == "sheriff-detect" || scheme == "sheriff-protect";
+}
+
+} // namespace
+
+CaptureOptions
+CaptureOptions::forScheme(const std::string &scheme)
+{
+    CaptureOptions opt;
+    opt.scheme = scheme;
+    if (scheme == "laser-detect")
+        return opt;
+    // Only LASER forks/attaches (Section 7.4.2): the baselines and the
+    // native reference run the unshifted heap layout.
+    opt.heapShift = 0;
+    if (scheme == "native")
+        opt.sav = 0;
+    if (isSheriffScheme(scheme))
+        opt.sheriff.detectMode = scheme == "sheriff-detect";
+    return opt;
+}
 
 TraceMeta
 makeCaptureMeta(const workloads::WorkloadDef &workload,
@@ -13,6 +45,7 @@ makeCaptureMeta(const workloads::WorkloadDef &workload,
     meta.workload = workload.info.name;
     meta.scheme = opt.scheme;
 
+    meta.build.manualFix = opt.manualFix;
     meta.build.heapPerturbation = opt.heapShift;
     meta.build.numThreads = opt.numThreads;
     meta.build.inputSeed = opt.inputSeed;
@@ -22,8 +55,20 @@ makeCaptureMeta(const workloads::WorkloadDef &workload,
     meta.machine.timing = opt.timing;
     meta.machine.seed = opt.machineSeed;
     meta.machine.heapPerturbation = opt.heapShift;
+    if (isSheriffScheme(opt.scheme)) {
+        // Sheriff executes threads as processes and commits dirty pages
+        // at sync points (Liu & Berger, OOPSLA'11).
+        meta.machine.threadsAsProcesses = true;
+        meta.machine.trackDirtyPages = true;
+    }
 
-    meta.pebs.sav = opt.sav;
+    meta.pebs.sav = opt.scheme == "laser-detect" ? opt.sav : 0;
+    meta.vtune = opt.vtune;
+    meta.sheriff = opt.sheriff;
+    // The scheme is authoritative for detect mode; keep the stored
+    // config consistent so offline cost re-estimates use what ran.
+    if (isSheriffScheme(opt.scheme))
+        meta.sheriff.detectMode = opt.scheme == "sheriff-detect";
     return meta;
 }
 
@@ -38,16 +83,43 @@ captureTrace(const workloads::WorkloadDef &workload,
     sim::Machine machine(std::move(build.program), trace.meta.machine);
     build.applyTo(machine);
 
-    pebs::PebsMonitor monitor(machine.addressSpace(),
-                              machine.program().size(), opt.timing,
-                              trace.meta.pebs);
-    machine.setPmuSink(&monitor);
-    trace.meta.stats = machine.run();
-    monitor.finish();
+    const std::string &scheme = opt.scheme;
+    if (scheme == "laser-detect") {
+        pebs::PebsMonitor monitor(machine.addressSpace(),
+                                  machine.program().size(), opt.timing,
+                                  trace.meta.pebs);
+        machine.setPmuSink(&monitor);
+        trace.meta.stats = machine.run();
+        monitor.finish();
+        trace.records = monitor.records();
+    } else if (scheme == "vtune") {
+        baselines::VTuneModel vtune(machine.program(),
+                                    machine.addressSpace(), opt.timing,
+                                    opt.vtune);
+        machine.setPmuSink(&vtune);
+        trace.meta.stats = machine.run();
+        // Drain the sampler (finish's aggregation is replayed offline).
+        vtune.finish(trace.meta.stats.cycles);
+        trace.records = vtune.records();
+    } else if (isSheriffScheme(scheme)) {
+        baselines::SheriffModel sheriff(trace.meta.sheriff,
+                                        /*capture_stream=*/true);
+        machine.setPmuSink(&sheriff);
+        trace.meta.stats = machine.run();
+        trace.records = sheriff.records();
+    } else if (scheme == "native") {
+        trace.meta.stats = machine.run();
+    } else {
+        throw std::invalid_argument("captureTrace: unknown scheme \"" +
+                                    scheme + "\"");
+    }
 
     trace.meta.runtimeCycles = trace.meta.stats.cycles;
     trace.meta.mapsText = machine.addressSpace().renderProcMaps();
-    trace.records = monitor.records();
+    // Canonical stream order: per-core buffers arrive in same-core
+    // bursts; the stable cycle sort here is the same one every sink's
+    // driver applies, so the stored stream replays without re-sorting.
+    analysis::sortByCycle(&trace.records);
     return trace;
 }
 

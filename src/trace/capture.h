@@ -1,12 +1,21 @@
 /**
  * @file
  * Trace capture: run one monitored simulation (the expensive part) and
- * package the PEBS record stream + run metadata as a Trace.
+ * package the analysis-record stream + run metadata as a Trace.
+ *
+ * Capture is scheme-aware: the same machinery records the LASER PEBS
+ * stream ("laser-detect"), the VTune interrupt-per-event stream
+ * ("vtune"), the Sheriff sync-commit stream ("sheriff-detect" /
+ * "sheriff-protect") or an unmonitored native run ("native", empty
+ * stream). Every captured stream is stored in canonical cycle order, so
+ * any AnalysisSink — serial or sharded — can replay it without
+ * re-simulating.
  *
  * The defaults reproduce the monitored phase of the experiment harness's
- * Laser schemes exactly (SAV 19, the fork/attach heap shift, the default
- * machine seed), so a captured trace replayed through the detector yields
- * the same DetectionReport as the in-process pipeline.
+ * schemes exactly (SAV 19, the fork/attach heap shift, the default
+ * machine seed for LASER; no heap shift for the baselines), so a
+ * captured trace replayed through the matching analyzer yields the same
+ * report as the in-process pipeline.
  */
 
 #ifndef LASER_TRACE_CAPTURE_H
@@ -15,6 +24,8 @@
 #include <cstdint>
 #include <string>
 
+#include "baselines/sheriff.h"
+#include "baselines/vtune.h"
 #include "sim/timing.h"
 #include "trace/trace.h"
 #include "workloads/workload.h"
@@ -32,9 +43,20 @@ struct CaptureOptions
     int numThreads = 4;
     std::uint64_t inputSeed = 0x5eed;
     double scale = 1.0;
+    bool manualFix = false;
     sim::TimingModel timing{};
-    /** Scheme label stored in the trace metadata. */
+    /** Scheme label; selects what the capture records (see file doc). */
     std::string scheme = "laser-detect";
+    /** Baseline-model configurations (used by their schemes only). */
+    baselines::VTuneConfig vtune{};
+    baselines::SheriffConfig sheriff{};
+
+    /**
+     * Canonical options for a scheme: "laser-detect" keeps the
+     * fork/attach heap shift; the baselines and native runs drop it;
+     * the sheriff schemes set detect mode accordingly.
+     */
+    static CaptureOptions forScheme(const std::string &scheme);
 };
 
 /**
@@ -44,7 +66,7 @@ struct CaptureOptions
 TraceMeta makeCaptureMeta(const workloads::WorkloadDef &workload,
                           const CaptureOptions &opt);
 
-/** Run the monitored simulation and return the complete trace. */
+/** Run the simulation under @p opt's scheme and return the trace. */
 Trace captureTrace(const workloads::WorkloadDef &workload,
                    const CaptureOptions &opt = {});
 

@@ -1,0 +1,133 @@
+#include "trace/parallel_replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "analysis/sink.h"
+
+namespace laser::trace {
+
+ParallelReplayer::ParallelReplayer(const TraceReplayer &env)
+    : ParallelReplayer(env, Options())
+{
+}
+
+ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
+    : env_(&env)
+{
+    const Trace &trace = env.trace();
+
+    // Stored streams are canonical; hand-built in-memory traces get the
+    // same stable cycle sort every other driver applies.
+    const std::vector<pebs::PebsRecord> *records = &trace.records;
+    std::vector<pebs::PebsRecord> sorted;
+    if (!std::is_sorted(records->begin(), records->end(),
+                        [](const pebs::PebsRecord &a,
+                           const pebs::PebsRecord &b) {
+                            return a.cycle < b.cycle;
+                        })) {
+        sorted = trace.records;
+        analysis::sortByCycle(&sorted);
+        records = &sorted;
+    }
+
+    const std::size_t n = records->size();
+    shards_ = std::max(1, opt.shards);
+    if (n > 0 && static_cast<std::size_t>(shards_) > n)
+        shards_ = static_cast<int>(n);
+
+    // Digest each contiguous time window independently. Shard pipelines
+    // share the replayer's immutable context; each owns only its state.
+    std::vector<detect::DetectorState> states(shards_);
+    const auto digest_shard = [&](std::size_t s) {
+        const std::size_t begin = n * s / shards_;
+        const std::size_t end = n * (s + 1) / shards_;
+        detect::DetectorPipeline pipeline(
+            env.context(), {}, detect::DetectorPipeline::Mode::Shard);
+        for (std::size_t i = begin; i < end; ++i)
+            pipeline.onRecord((*records)[i]);
+        states[s] = pipeline.takeState();
+    };
+    if (opt.pool) {
+        opt.pool->parallelFor(static_cast<std::size_t>(shards_),
+                              digest_shard);
+    } else if (shards_ > 1) {
+        util::ThreadPool local(shards_);
+        local.parallelFor(static_cast<std::size_t>(shards_),
+                          digest_shard);
+    } else {
+        digest_shard(0);
+    }
+
+    // Window-order merge: concatenating the shards' event streams in
+    // this order reproduces the serial processing order exactly.
+    merged_ = std::move(states[0]);
+    for (int s = 1; s < shards_; ++s)
+        merged_.mergeFrom(std::move(states[s]));
+}
+
+detect::DetectionReport
+ParallelReplayer::replay(const detect::DetectorConfig &cfg) const
+{
+    const detect::RateScanState scan =
+        detect::scanRateEvents(merged_.rateEvents, cfg);
+    return detect::buildReport(env_->context(), cfg, merged_, scan,
+                               env_->trace().meta.runtimeCycles);
+}
+
+ShardedReplayCheck
+checkShardedReplay(const TraceReplayer &env,
+                   const std::vector<double> &thresholds, int shards,
+                   util::ThreadPool *pool)
+{
+    using clock = std::chrono::steady_clock;
+    const auto seconds_since = [](clock::time_point start) {
+        return std::chrono::duration<double>(clock::now() - start)
+            .count();
+    };
+    ShardedReplayCheck check;
+
+    const auto serial_start = clock::now();
+    for (double threshold : thresholds)
+        check.serialReports.push_back(env.replayAtThreshold(threshold));
+    check.serialSeconds = seconds_since(serial_start);
+
+    const auto sharded_start = clock::now();
+    ParallelReplayer::Options opt;
+    opt.shards = shards;
+    opt.pool = pool;
+    ParallelReplayer parallel(env, opt);
+    check.shards = parallel.shards();
+    check.identical = true;
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        detect::DetectorConfig cfg;
+        cfg.rateThreshold = thresholds[i];
+        cfg.sav = env.trace().meta.pebs.sav;
+        if (check.identical &&
+                !detect::reportsIdentical(check.serialReports[i],
+                                          parallel.replay(cfg))) {
+            check.identical = false;
+            check.mismatchThreshold = thresholds[i];
+        }
+    }
+    check.shardedSeconds = seconds_since(sharded_start);
+    return check;
+}
+
+detect::DetectionReport
+replayDetection(const Trace &trace, int shards, util::ThreadPool *pool)
+{
+    TraceReplayer env(trace);
+    if (!env.ok())
+        throw std::runtime_error("replayDetection: " + env.error());
+    ParallelReplayer::Options opt;
+    opt.shards = shards;
+    opt.pool = pool;
+    ParallelReplayer digest(env, opt);
+    detect::DetectorConfig cfg;
+    cfg.sav = trace.meta.pebs.sav;
+    return digest.replay(cfg);
+}
+
+} // namespace laser::trace

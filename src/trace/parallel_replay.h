@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharded parallel replay: split one trace's canonical record stream
+ * into contiguous cycle windows, digest each window with an independent
+ * DetectorPipeline on a thread pool, merge the shard states in window
+ * order, and build the report once.
+ *
+ * The merged DetectionReport is — by construction, and enforced by
+ * tests over every registered workload — identical to the serial
+ * replay's: per-line cache-line state is reconciled across shard
+ * boundaries and the online repair-trigger semantics are preserved by a
+ * sequential merge-time rate scan (see detect/detector_state.h for the
+ * argument).
+ *
+ * Because the digest is config-independent, it runs once per trace and
+ * is reused by every replay(cfg) call: a threshold sweep over a
+ * captured trace pays the stream cost once and each additional
+ * configuration costs only a rate scan plus report aggregation
+ * (digest-once / report-many).
+ */
+
+#ifndef LASER_TRACE_PARALLEL_REPLAY_H
+#define LASER_TRACE_PARALLEL_REPLAY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector_state.h"
+#include "detect/pipeline.h"
+#include "detect/types.h"
+#include "trace/replay.h"
+#include "util/thread_pool.h"
+
+namespace laser::trace {
+
+class ParallelReplayer
+{
+  public:
+    struct Options
+    {
+        /** Number of time-window shards; clamped to [1, record count]. */
+        int shards = 4;
+        /**
+         * Pool to digest shards on; nullptr runs shards on a transient
+         * pool sized to the shard count.
+         */
+        util::ThreadPool *pool = nullptr;
+    };
+
+    /**
+     * Digests the trace immediately (sharded, in parallel). @p env must
+     * outlive the replayer.
+     */
+    explicit ParallelReplayer(const TraceReplayer &env);
+    ParallelReplayer(const TraceReplayer &env, Options opt);
+
+    /**
+     * Build the report for one configuration from the merged digest.
+     * Cheap relative to the digest: a sequential rate scan over the
+     * merged events plus report aggregation.
+     */
+    detect::DetectionReport
+    replay(const detect::DetectorConfig &cfg) const;
+
+    /** Shards actually used after clamping. */
+    int shards() const { return shards_; }
+
+    /** Records digested (after filtering: state().totalRecords). */
+    const detect::DetectorState &state() const { return merged_; }
+
+  private:
+    const TraceReplayer *env_;
+    int shards_ = 1;
+    detect::DetectorState merged_;
+};
+
+/** Outcome of one serial-vs-sharded comparison run. */
+struct ShardedReplayCheck
+{
+    int shards = 1;
+    bool identical = false;
+    /** First threshold whose reports diverged (when !identical). */
+    double mismatchThreshold = 0.0;
+    double serialSeconds = 0.0;
+    double shardedSeconds = 0.0;
+    /** Serial reports, one per threshold (callers print/reuse these). */
+    std::vector<detect::DetectionReport> serialReports;
+
+    double
+    speedup() const
+    {
+        return shardedSeconds > 0.0 ? serialSeconds / shardedSeconds
+                                    : 0.0;
+    }
+};
+
+/**
+ * The identity invariant as a runtime check: replay @p env serially at
+ * each threshold (sav from the capture config), then replay the same
+ * thresholds from one @p shards-way digest, and compare reports
+ * field-exactly. Shared by `laser_trace replay --shards` and
+ * bench_fig09 so tool and bench cannot diverge on what "identical"
+ * means.
+ */
+ShardedReplayCheck
+checkShardedReplay(const TraceReplayer &env,
+                   const std::vector<double> &thresholds, int shards,
+                   util::ThreadPool *pool = nullptr);
+
+/**
+ * One-shot sharded detection replay of a captured laser-detect trace at
+ * the capture SAV with every other knob at its default — the
+ * repair-decision / accuracy convenience the benches share. Pass the
+ * already-busy pool (e.g. SweepRunner::pool()) so shard jobs queue
+ * there instead of spawning a transient pool per call. Throws
+ * std::runtime_error when the trace's workload is unknown.
+ */
+detect::DetectionReport replayDetection(const Trace &trace, int shards,
+                                        util::ThreadPool *pool = nullptr);
+
+} // namespace laser::trace
+
+#endif // LASER_TRACE_PARALLEL_REPLAY_H

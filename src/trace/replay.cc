@@ -1,5 +1,7 @@
 #include "trace/replay.h"
 
+#include <algorithm>
+
 namespace laser::trace {
 
 TraceReplayer::TraceReplayer(const Trace &trace) : trace_(&trace)
@@ -14,15 +16,26 @@ TraceReplayer::TraceReplayer(const Trace &trace) : trace_(&trace)
     program_ = std::move(build.program);
     space_ = std::make_unique<mem::AddressSpace>(
         program_, trace.meta.machine.numCores);
+    ctx_ = std::make_unique<detect::DetectorContext>(
+        program_, *space_, trace.meta.mapsText,
+        trace.meta.machine.timing);
+}
+
+void
+TraceReplayer::drive(analysis::RecordSink &sink) const
+{
+    // Stored streams are canonical (cycle-ordered; the reader rejects
+    // anything else), but hand-built in-memory traces may not be — the
+    // stable sort is a no-op on conforming input.
+    analysis::drainSorted(trace_->records, sink);
 }
 
 detect::DetectionReport
 TraceReplayer::replay(const detect::DetectorConfig &cfg) const
 {
-    detect::Detector detector(program_, *space_, trace_->meta.mapsText,
-                              trace_->meta.machine.timing, cfg);
-    detector.processAll(trace_->records);
-    return detector.finish(trace_->meta.runtimeCycles);
+    detect::DetectorPipeline pipeline(*ctx_, cfg);
+    drive(pipeline);
+    return pipeline.finish(trace_->meta.runtimeCycles);
 }
 
 detect::DetectionReport
@@ -32,6 +45,58 @@ TraceReplayer::replayAtThreshold(double rate_threshold) const
     cfg.rateThreshold = rate_threshold;
     cfg.sav = trace_->meta.pebs.sav;
     return replay(cfg);
+}
+
+baselines::VTuneReport
+TraceReplayer::replayVTune(const baselines::VTuneConfig &cfg) const
+{
+    // The interrupt-per-event stream records every HITM (SAV 1), so the
+    // stream length is the event count.
+    return baselines::aggregateVTune(program_, *space_, trace_->records,
+                                     trace_->records.size(),
+                                     trace_->meta.runtimeCycles, cfg);
+}
+
+baselines::VTuneReport
+TraceReplayer::replayVTune() const
+{
+    return replayVTune(trace_->meta.vtune);
+}
+
+SheriffReplay
+TraceReplayer::replaySheriff(const baselines::SheriffConfig &cfg) const
+{
+    SheriffReplay out;
+    out.report = baselines::replaySheriffStream(trace_->records, cfg);
+    const baselines::SheriffConfig &cap = trace_->meta.sheriff;
+    const bool same_costs = cfg.syncBaseCost == cap.syncBaseCost &&
+                            cfg.perDirtyPageCost == cap.perDirtyPageCost &&
+                            cfg.detectExtraCost == cap.detectExtraCost &&
+                            cfg.detectMode == cap.detectMode;
+    out.capturedChargedCycles =
+        same_costs
+            ? out.report.chargedCycles
+            : baselines::replaySheriffStream(trace_->records, cap)
+                  .chargedCycles;
+    // Commit costs are charged per core but the captured runtime is
+    // wall-clock; assume the charge spreads evenly across cores, so the
+    // wall-clock contribution is chargedCycles / numCores. Exact when
+    // the replayed config equals the capture's (the deltas cancel).
+    const int cores = std::max(1, trace_->meta.machine.numCores);
+    const std::uint64_t captured_wall = out.capturedChargedCycles / cores;
+    const std::uint64_t replayed_wall = out.report.chargedCycles / cores;
+    const std::uint64_t base =
+        trace_->meta.runtimeCycles > captured_wall
+            ? trace_->meta.runtimeCycles - captured_wall
+            : 0;
+    out.estimatedRuntimeCycles = base + replayed_wall;
+    return out;
+}
+
+SheriffReplay
+TraceReplayer::replaySheriff() const
+{
+    return replaySheriff(trace_->meta.sheriff);
 }
 
 } // namespace laser::trace

@@ -1,13 +1,16 @@
 /**
  * @file
- * Trace replay: re-run LASERDETECT over a captured record stream at any
- * detector configuration, without re-simulating the machine.
+ * Trace replay: re-run an analysis over a captured record stream at any
+ * configuration, without re-simulating the machine.
  *
  * The replayer rebuilds the capture's program from the workload registry
  * (workload builders are deterministic for fixed BuildOptions) and its
- * address-space layout, then feeds the stored records through a fresh
- * Detector. Replays are independent and const, so one replayer can serve
- * many threshold points concurrently.
+ * address-space layout, then drives the stored records through an
+ * analysis::RecordSink — a fresh DetectorPipeline for the LASER scheme,
+ * the VTune offline aggregation, or the Sheriff sync-stream decoder.
+ * The rebuilt environment (program, address space, parsed maps,
+ * load/store sets) is shared and immutable, so one replayer can serve
+ * many configurations and many shard pipelines concurrently.
  */
 
 #ifndef LASER_TRACE_REPLAY_H
@@ -16,12 +19,32 @@
 #include <memory>
 #include <string>
 
+#include "analysis/sink.h"
+#include "baselines/sheriff.h"
+#include "baselines/vtune.h"
 #include "detect/detector.h"
+#include "detect/pipeline.h"
 #include "isa/program.h"
 #include "mem/address_space.h"
 #include "trace/trace.h"
 
 namespace laser::trace {
+
+/** Offline Sheriff re-analysis of a captured sync stream. */
+struct SheriffReplay
+{
+    baselines::SheriffReport report;
+    /** Commit cycles the capture run charged (its own config). */
+    std::uint64_t capturedChargedCycles = 0;
+    /**
+     * Modeled wall-clock runtime under the replayed config: the
+     * captured runtime with capture-time commit costs (spread evenly
+     * over the cores) swapped for replayed ones. An additive estimate —
+     * cost charging perturbs interleaving in a full simulation — exact
+     * when the replayed config equals the capture's.
+     */
+    std::uint64_t estimatedRuntimeCycles = 0;
+};
 
 /**
  * Rebuilt replay environment for one trace. The trace must outlive the
@@ -36,6 +59,9 @@ class TraceReplayer
     bool ok() const { return error_.empty(); }
     const std::string &error() const { return error_; }
 
+    /** Drive the stored record stream through any analysis sink. */
+    void drive(analysis::RecordSink &sink) const;
+
     /** Re-run the detector over the records at @p cfg. */
     detect::DetectionReport replay(const detect::DetectorConfig &cfg) const;
 
@@ -46,13 +72,28 @@ class TraceReplayer
      */
     detect::DetectionReport replayAtThreshold(double rate_threshold) const;
 
+    /** Offline VTune aggregation over a captured "vtune" stream. */
+    baselines::VTuneReport
+    replayVTune(const baselines::VTuneConfig &cfg) const;
+    /** ...at the capture-time VTune configuration. */
+    baselines::VTuneReport replayVTune() const;
+
+    /** Offline Sheriff re-analysis of a captured sheriff stream. */
+    SheriffReplay replaySheriff(const baselines::SheriffConfig &cfg) const;
+    /** ...at the capture-time Sheriff configuration. */
+    SheriffReplay replaySheriff() const;
+
+    const Trace &trace() const { return *trace_; }
     const isa::Program &program() const { return program_; }
     const mem::AddressSpace &space() const { return *space_; }
+    /** Shared immutable detector environment (maps, load/store sets). */
+    const detect::DetectorContext &context() const { return *ctx_; }
 
   private:
     const Trace *trace_;
     isa::Program program_;
     std::unique_ptr<mem::AddressSpace> space_;
+    std::unique_ptr<detect::DetectorContext> ctx_;
     std::string error_;
 };
 

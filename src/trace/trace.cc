@@ -291,6 +291,22 @@ putConfig(ByteWriter &w, const TraceMeta &m)
     w.f64(p.storePcAdjacent);
     w.f64(p.wrongAddrUnmapped);
     w.f64(p.wrongPcInBinary);
+
+    const baselines::VTuneConfig &v = m.vtune;
+    w.f64(v.rateThreshold);
+    w.var(v.eventCost);
+    w.var(v.memopSav);
+    w.var(v.memopCost);
+    w.var(v.hotLoadWindow);
+    w.var(v.hotLoadSav);
+    w.var(v.hotLoadCost);
+    w.var(v.seed);
+
+    const baselines::SheriffConfig &s = m.sheriff;
+    w.var(s.syncBaseCost);
+    w.var(s.perDirtyPageCost);
+    w.var(s.detectExtraCost);
+    w.boolean(s.detectMode);
 }
 
 bool
@@ -338,6 +354,22 @@ getConfig(ByteReader &r, TraceMeta *m, std::string *err)
     p.storePcAdjacent = r.f64();
     p.wrongAddrUnmapped = r.f64();
     p.wrongPcInBinary = r.f64();
+
+    baselines::VTuneConfig &v = m->vtune;
+    v.rateThreshold = r.f64();
+    v.eventCost = r.var();
+    v.memopSav = r.var();
+    v.memopCost = r.var();
+    v.hotLoadWindow = r.var();
+    v.hotLoadSav = r.var();
+    v.hotLoadCost = r.var();
+    v.seed = r.var();
+
+    baselines::SheriffConfig &s = m->sheriff;
+    s.syncBaseCost = r.var();
+    s.perDirtyPageCost = r.var();
+    s.detectExtraCost = r.var();
+    s.detectMode = r.boolean();
     return true;
 }
 
@@ -450,6 +482,7 @@ traceStatusName(TraceStatus status)
       case TraceStatus::BadEndianness: return "endianness mismatch";
       case TraceStatus::Truncated:     return "truncated";
       case TraceStatus::Corrupt:       return "corrupt";
+      case TraceStatus::NonMonotonic:  return "non-monotonic cycles";
     }
     return "???";
 }
@@ -473,6 +506,8 @@ TraceWriter::TraceWriter(TraceMeta meta) : meta_(std::move(meta)) {}
 void
 TraceWriter::append(const pebs::PebsRecord &rec)
 {
+    if (rec.cycle < prev_.cycle)
+        monotonic_ = false;
     // Encodes straight into the member buffer: no per-record allocation.
     ByteWriter w(recordBytes_);
     putRecordDelta(w, rec, prev_);
@@ -515,6 +550,10 @@ TraceWriter::finalize() const
 TraceStatus
 TraceWriter::writeFile(const std::string &path) const
 {
+    // Refuse to persist a stream every conforming reader would reject;
+    // sort with analysis::sortByCycle before appending.
+    if (!monotonic_)
+        return TraceStatus::NonMonotonic;
     const std::vector<std::uint8_t> bytes = finalize();
     // Unique temp name: concurrent writers of the same cache file (two
     // sweeps sharing a cache directory) must not clobber each other's
@@ -636,6 +675,14 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size)
             return fail(TraceStatus::Truncated,
                         "record stream ends mid-record at index " +
                             std::to_string(i));
+        // Canonical streams are non-decreasing in cycle; time-window
+        // sharding and every sink's stream contract depend on it.
+        if (rec.cycle < prev.cycle)
+            return fail(TraceStatus::NonMonotonic,
+                        "record " + std::to_string(i) + " cycle " +
+                            std::to_string(rec.cycle) +
+                            " precedes previous record's cycle " +
+                            std::to_string(prev.cycle));
         trace_.records.push_back(rec);
         prev = rec;
     }

@@ -5,11 +5,13 @@
  *
  * The paper stresses that LASERDETECT's thresholds are "adjustable
  * offline without rerunning the program" (Section 4); this module makes
- * that literal. A trace file persists everything a detector replay
- * needs: the capture configuration (workload + build options + machine +
- * PEBS monitor configuration), the run's results (machine statistics,
+ * that literal. A trace file persists everything a replay needs: the
+ * capture configuration (workload + build options + machine + PEBS +
+ * baseline-model configuration), the run's results (machine statistics,
  * runtime, the rendered /proc maps text) and the full record stream in
- * driver-delivery order.
+ * canonical (non-decreasing cycle) order — the order every analysis
+ * sink consumes, produced by analysis::sortByCycle over the raw
+ * driver-delivery stream.
  *
  * File layout (all multi-byte header/trailer fields little-endian):
  *
@@ -29,10 +31,18 @@
  * the hot-loop streams the monitor produces by roughly 4-6x over raw
  * structs.
  *
+ * Format v2 additions: the record stream is canonical — records are
+ * stored in non-decreasing cycle order (the order every analysis sink
+ * consumes), so sharded replay can split a trace into time windows by
+ * plain index arithmetic; and the config section carries the VTune and
+ * Sheriff model configurations, because v2 traces capture those
+ * baseline schemes too (the scheme string names the stream's record
+ * encoding).
+ *
  * Parsing is strict: wrong magic, foreign endianness, unknown version,
- * short files and checksum/hash mismatches each yield a typed
- * TraceStatus, never undefined behaviour. A trace that parses Ok
- * round-trips byte-exactly.
+ * short files, checksum/hash mismatches and non-monotonic record cycle
+ * streams each yield a typed TraceStatus, never undefined behaviour. A
+ * trace that parses Ok round-trips byte-exactly.
  */
 
 #ifndef LASER_TRACE_TRACE_H
@@ -42,6 +52,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sink.h"
+#include "baselines/sheriff.h"
+#include "baselines/vtune.h"
 #include "pebs/monitor.h"
 #include "pebs/record.h"
 #include "sim/machine.h"
@@ -49,7 +62,7 @@
 
 namespace laser::trace {
 
-constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::uint32_t kTraceVersion = 2;
 constexpr char kTraceMagic[4] = {'L', 'S', 'R', 'T'};
 constexpr std::uint32_t kTraceEndianMarker = 0x01020304;
 /** Canonical trace-file extension (also used by the sweep cache). */
@@ -64,6 +77,7 @@ enum class TraceStatus : std::uint8_t {
     BadEndianness, ///< produced on a foreign-endian machine
     Truncated,     ///< stream ends mid-structure
     Corrupt,       ///< checksum/hash mismatch or malformed content
+    NonMonotonic,  ///< record cycles decrease (breaks time-window sharding)
 };
 
 /** Printable name of a status ("ok", "bad magic", ...). */
@@ -75,11 +89,17 @@ struct TraceMeta
     // -- Capture configuration; participates in configHash(). ---------
     /** Registered workload name (replay rebuilds the program from it). */
     std::string workload;
-    /** Scheme label ("laser-detect", ...); bookkeeping only. */
+    /**
+     * Scheme label ("native", "laser-detect", "vtune", "sheriff-detect",
+     * "sheriff-protect"); names the stream's record encoding.
+     */
     std::string scheme = "laser-detect";
     workloads::BuildOptions build{};
     sim::MachineConfig machine{};
     pebs::PebsConfig pebs{};
+    /** Baseline-model configurations (consumed by their schemes only). */
+    baselines::VTuneConfig vtune{};
+    baselines::SheriffConfig sheriff{};
 
     // -- Capture results; not hashed. ---------------------------------
     sim::MachineStats stats{};
@@ -105,15 +125,24 @@ struct Trace
 };
 
 /**
- * Streaming trace encoder.
+ * Streaming trace encoder. Also an analysis::RecordSink, so a capture
+ * path can tee one record stream into a live analyzer and a trace file
+ * through identical plumbing.
+ *
+ * Appended records must follow the canonical stream contract
+ * (non-decreasing cycles; sort raw driver output with
+ * analysis::sortByCycle first). A violation is latched: finalize()
+ * still encodes the bytes (so the reader's rejection paths can be
+ * exercised), but writeFile() refuses with NonMonotonic rather than
+ * persist a file every conforming reader would reject.
  *
  * @code
  *   TraceWriter w(meta);
- *   w.appendAll(monitor.records());
+ *   w.appendAll(sorted_records);
  *   w.writeFile("run.ltrace");
  * @endcode
  */
-class TraceWriter
+class TraceWriter : public analysis::RecordSink
 {
   public:
     explicit TraceWriter(TraceMeta meta);
@@ -122,11 +151,17 @@ class TraceWriter
     void append(const pebs::PebsRecord &rec);
     void appendAll(const std::vector<pebs::PebsRecord> &recs);
 
+    /** RecordSink: streams append in arrival order. */
+    void onRecord(const pebs::PebsRecord &rec) override { append(rec); }
+
     /** Complete file image: header + payload + checksum trailer. */
     std::vector<std::uint8_t> finalize() const;
 
     /** Write the file image atomically (temp file + rename). */
     TraceStatus writeFile(const std::string &path) const;
+
+    /** False once an appended record's cycle went backwards. */
+    bool monotonic() const { return monotonic_; }
 
     const TraceMeta &meta() const { return meta_; }
     std::size_t recordCount() const { return recordCount_; }
@@ -136,6 +171,7 @@ class TraceWriter
     std::vector<std::uint8_t> recordBytes_;
     std::size_t recordCount_ = 0;
     pebs::PebsRecord prev_{};
+    bool monotonic_ = true;
 };
 
 /** Convenience: encode and write a whole trace. */

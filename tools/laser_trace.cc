@@ -1,36 +1,53 @@
 /**
  * @file
- * laser_trace: capture, inspect and replay PEBS trace files.
+ * laser_trace: capture, inspect and replay analysis trace files.
  *
- *   laser_trace record <workload> [-o FILE] [--sav N] [--seed N]
- *                      [--heap-shift N] [--threads N] [--scale F]
- *       Run the monitored simulation once and persist the record
- *       stream + run metadata as a trace file.
+ *   laser_trace record <workload> [-o FILE] [--scheme S] [--sav N]
+ *                      [--seed N] [--heap-shift N] [--threads N]
+ *                      [--scale F]
+ *       Run one simulation under a scheme (laser-detect, vtune,
+ *       sheriff-detect, sheriff-protect, native) and persist its
+ *       analysis-record stream + run metadata as a trace file.
  *
  *   laser_trace info FILE
  *       Decode and print a trace's header, configuration and stats.
  *
- *   laser_trace replay FILE [--threshold F]
- *       Re-run LASERDETECT over the stored records at the given rate
- *       threshold (default: the paper's 1K HITMs/sec) — no simulation.
+ *   laser_trace replay FILE [--threshold F | --thresholds t1,t2,...]
+ *                      [--shards N]
+ *       Re-run the trace's analysis offline — no simulation. For
+ *       laser-detect traces, --shards N digests the stream as N
+ *       time-window shards in parallel (verifying the merged report
+ *       against the serial one and printing the speedup), and
+ *       --thresholds replays several configurations from one digest
+ *       (multi-config single-pass). VTune and Sheriff traces replay
+ *       through their own offline analyzers.
  *
  *   laser_trace sweep [--workloads a,b,...] [--thresholds t1,t2,...]
- *                     [--cache-dir DIR] [-j N]
+ *                     [--cache-dir DIR] [-j N] [--shards N]
  *       Capture-once/replay-many threshold sweep over the bug database
  *       (Figure 9 style), fanned across cores, optionally backed by an
  *       on-disk trace cache shared between invocations.
+ *
+ *   laser_trace cache ls DIR
+ *   laser_trace cache gc DIR --max-bytes N
+ *       Inventory a trace-cache directory / evict least-recently-used
+ *       traces until it fits the byte budget.
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/accuracy.h"
 #include "core/sweep_runner.h"
+#include "trace/cache.h"
 #include "trace/capture.h"
+#include "trace/parallel_replay.h"
 #include "trace/replay.h"
 #include "trace/trace.h"
 #include "util/table.h"
@@ -46,12 +63,15 @@ usage()
     std::fprintf(
         stderr,
         "usage: laser_trace <command> [options]\n"
-        "  record <workload> [-o FILE] [--sav N] [--seed N]\n"
+        "  record <workload> [-o FILE] [--scheme S] [--sav N] [--seed N]\n"
         "                    [--heap-shift N] [--threads N] [--scale F]\n"
         "  info FILE\n"
-        "  replay FILE [--threshold F]\n"
+        "  replay FILE [--threshold F | --thresholds t1,t2,...]\n"
+        "         [--shards N]\n"
         "  sweep [--workloads a,b,...] [--thresholds t1,t2,...]\n"
-        "        [--cache-dir DIR] [-j N]\n");
+        "        [--cache-dir DIR] [-j N] [--shards N]\n"
+        "  cache ls DIR\n"
+        "  cache gc DIR --max-bytes N\n");
     return 1;
 }
 
@@ -156,12 +176,30 @@ cmdRecord(int argc, char **argv)
         return 1;
     }
 
+    // Resolve --scheme first (wherever it appears) so its canonical
+    // defaults never clobber other flags: every remaining flag then
+    // applies on top, regardless of order on the command line.
     trace::CaptureOptions opt;
-    std::string out_path = name + trace::kTraceExtension;
     std::string v;
+    for (int i = 3; i < argc; ++i) {
+        if (!nextArg(argc, argv, &i, "--scheme", &v))
+            continue;
+        if (v != "laser-detect" && v != "vtune" &&
+                v != "sheriff-detect" && v != "sheriff-protect" &&
+                v != "native") {
+            std::fprintf(stderr, "laser_trace: unknown scheme \"%s\"\n",
+                         v.c_str());
+            return 1;
+        }
+        opt = trace::CaptureOptions::forScheme(v);
+    }
+
+    std::string out_path = name + trace::kTraceExtension;
     for (int i = 3; i < argc; ++i) {
         if (nextArg(argc, argv, &i, "-o", &v))
             out_path = v;
+        else if (nextArg(argc, argv, &i, "--scheme", &v))
+            ; // handled above
         else if (nextArg(argc, argv, &i, "--sav", &v))
             opt.sav = std::uint32_t(uintArg(v, "--sav"));
         else if (nextArg(argc, argv, &i, "--seed", &v))
@@ -183,9 +221,9 @@ cmdRecord(int argc, char **argv)
                      out_path.c_str(), trace::traceStatusName(status));
         return 2;
     }
-    std::printf("captured %s: %zu records, %llu cycles (%.2f represented "
-                "seconds), %llu HITM events\n",
-                name.c_str(), t.records.size(),
+    std::printf("captured %s (%s): %zu records, %llu cycles (%.2f "
+                "represented seconds), %llu HITM events\n",
+                name.c_str(), t.meta.scheme.c_str(), t.records.size(),
                 (unsigned long long)t.meta.runtimeCycles,
                 t.meta.stats.seconds(),
                 (unsigned long long)t.meta.stats.hitmTotal());
@@ -234,15 +272,114 @@ cmdInfo(int argc, char **argv)
 }
 
 int
+replayLaser(const trace::Trace &t, const trace::TraceReplayer &replayer,
+            std::vector<double> thresholds, int shards)
+{
+    if (thresholds.empty())
+        thresholds.push_back(1000.0); // the paper's default (Section 7.1)
+
+    std::vector<detect::DetectionReport> serial;
+    if (shards > 1) {
+        // Sharded pass: one config-independent digest, every threshold
+        // from the merged state, identity-checked against serial.
+        const trace::ShardedReplayCheck check =
+            trace::checkShardedReplay(replayer, thresholds, shards);
+        if (!check.identical) {
+            std::fprintf(stderr,
+                         "laser_trace: INVARIANT VIOLATION: sharded "
+                         "replay differs from serial at threshold "
+                         "%.0f\n",
+                         check.mismatchThreshold);
+            return 3;
+        }
+        std::printf("sharded replay: %d shards, %zu configs from one "
+                    "digest, identical to serial; serial %.1fms vs "
+                    "sharded %.1fms -> %.2fx speedup\n\n",
+                    check.shards, thresholds.size(),
+                    1e3 * check.serialSeconds, 1e3 * check.shardedSeconds,
+                    check.speedup());
+        serial = check.serialReports;
+    } else {
+        for (double threshold : thresholds)
+            serial.push_back(replayer.replayAtThreshold(threshold));
+    }
+
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        std::printf("replaying %s at %.0f HITMs/sec (sav %u, %zu "
+                    "records)\n\n",
+                    t.meta.workload.c_str(), thresholds[i],
+                    t.meta.pebs.sav, t.records.size());
+        printReport(serial[i]);
+        if (i + 1 < thresholds.size())
+            std::printf("\n");
+    }
+    return 0;
+}
+
+int
+replayVTuneTrace(const trace::Trace &t,
+                 const trace::TraceReplayer &replayer,
+                 std::vector<double> thresholds)
+{
+    // No explicit threshold replays at the capture-time configuration,
+    // reproducing the live VTune report.
+    if (thresholds.empty())
+        thresholds.push_back(t.meta.vtune.rateThreshold);
+    for (double threshold : thresholds) {
+        baselines::VTuneConfig cfg = t.meta.vtune;
+        cfg.rateThreshold = threshold;
+        const baselines::VTuneReport report = replayer.replayVTune(cfg);
+        std::printf("replaying %s (vtune) at %.0f HITMs/sec (%zu "
+                    "records, %llu events)\n",
+                    t.meta.workload.c_str(), threshold, t.records.size(),
+                    (unsigned long long)report.hitmEvents);
+        TablePrinter table({"location", "records", "HITM/s"});
+        for (const baselines::VTuneLine &line : report.lines)
+            table.addRow({line.location, std::to_string(line.records),
+                          fmtDouble(line.hitmRate, 0)});
+        if (report.lines.empty())
+            std::printf("(no lines above the rate threshold)\n");
+        else
+            std::fputs(table.render().c_str(), stdout);
+    }
+    return 0;
+}
+
+int
+replaySheriffTrace(const trace::Trace &t,
+                   const trace::TraceReplayer &replayer)
+{
+    const trace::SheriffReplay replay = replayer.replaySheriff();
+    std::printf("replaying %s (%s): %llu sync ops, %llu dirty pages "
+                "committed\n",
+                t.meta.workload.c_str(), t.meta.scheme.c_str(),
+                (unsigned long long)replay.report.syncOps,
+                (unsigned long long)replay.report.dirtyPagesCommitted);
+    std::printf("commit cost %llu cycles; modeled runtime %llu cycles "
+                "(%.2f represented seconds)\n",
+                (unsigned long long)replay.report.chargedCycles,
+                (unsigned long long)replay.estimatedRuntimeCycles,
+                sim::representedSeconds(replay.estimatedRuntimeCycles));
+    return 0;
+}
+
+int
 cmdReplay(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    double threshold = 1000.0;
+    std::vector<double> thresholds;
+    int shards = 1;
     std::string v;
     for (int i = 3; i < argc; ++i) {
         if (nextArg(argc, argv, &i, "--threshold", &v))
-            threshold = numArg(v, "--threshold");
+            thresholds.assign(1, numArg(v, "--threshold"));
+        else if (nextArg(argc, argv, &i, "--thresholds", &v)) {
+            thresholds.clear();
+            for (const std::string &s : splitCommas(v))
+                thresholds.push_back(numArg(s, "--thresholds"));
+        } else if (nextArg(argc, argv, &i, "--shards", &v))
+            shards = int(uintArg(v, "--shards"));
         else
             return usage();
     }
@@ -262,11 +399,21 @@ cmdReplay(int argc, char **argv)
                      replayer.error().c_str());
         return 2;
     }
-    std::printf("replaying %s at %.0f HITMs/sec (sav %u, %zu records)\n\n",
-                t.meta.workload.c_str(), threshold, t.meta.pebs.sav,
-                t.records.size());
-    printReport(replayer.replayAtThreshold(threshold));
-    return 0;
+
+    if (t.meta.scheme == "vtune")
+        return replayVTuneTrace(t, replayer, thresholds);
+    if (t.meta.scheme == "sheriff-detect" ||
+            t.meta.scheme == "sheriff-protect")
+        return replaySheriffTrace(t, replayer);
+    if (t.meta.scheme == "native") {
+        std::printf("%s is a native capture (no analysis stream); "
+                    "runtime %llu cycles (%.2f represented seconds)\n",
+                    t.meta.workload.c_str(),
+                    (unsigned long long)t.meta.runtimeCycles,
+                    sim::representedSeconds(t.meta.runtimeCycles));
+        return 0;
+    }
+    return replayLaser(t, replayer, thresholds, shards);
 }
 
 int
@@ -276,6 +423,7 @@ cmdSweep(int argc, char **argv)
     std::vector<double> thresholds = {32,   64,   128,  256,   512,  1000,
                                       2000, 4000, 8000, 16000, 32000, 64000};
     core::SweepRunner::Config rc;
+    int shards = 0;
     std::string v;
     for (int i = 2; i < argc; ++i) {
         if (nextArg(argc, argv, &i, "--workloads", &v))
@@ -288,6 +436,8 @@ cmdSweep(int argc, char **argv)
             rc.cacheDir = v;
         else if (nextArg(argc, argv, &i, "-j", &v))
             rc.numWorkers = int(uintArg(v, "-j"));
+        else if (nextArg(argc, argv, &i, "--shards", &v))
+            shards = int(uintArg(v, "--shards"));
         else
             return usage();
     }
@@ -311,7 +461,7 @@ cmdSweep(int argc, char **argv)
 
     core::SweepRunner runner(rc);
     const core::ThresholdSweepResult sweep =
-        core::thresholdSweep(runner, defs, thresholds);
+        core::thresholdSweep(runner, defs, thresholds, {}, shards);
 
     TablePrinter table(
         {"threshold (HITM/s)", "false negatives", "false positives"});
@@ -323,20 +473,94 @@ cmdSweep(int argc, char **argv)
 
     const core::SweepStats stats = runner.stats();
     std::printf("\n%llu simulations, %llu memory cache hits, %llu disk "
-                "cache hits; %zu replays on %d workers\n",
+                "cache hits; %zu replays (%d-shard digests) on %d "
+                "workers\n",
                 (unsigned long long)sweep.machineRuns,
                 (unsigned long long)stats.memoryCacheHits,
                 (unsigned long long)stats.diskCacheHits, sweep.replays,
-                runner.workers());
+                sweep.shardsPerDigest, runner.workers());
     if (sweep.machineRuns > 0)
-        std::printf("capture %.2fs, replay %.2fs -> replay speedup "
-                    "%.1fx per sweep point\n",
-                    sweep.captureSeconds, sweep.replaySeconds,
-                    sweep.replaySpeedup());
+        std::printf("capture %.2fs, digest %.2fs, replay %.2fs -> "
+                    "replay speedup %.1fx per sweep point\n",
+                    sweep.captureSeconds, sweep.digestSeconds,
+                    sweep.replaySeconds, sweep.replaySpeedup());
     else
-        std::printf("capture %.2fs (fully cache-served), replay %.2fs\n",
-                    sweep.captureSeconds, sweep.replaySeconds);
+        std::printf("capture %.2fs (fully cache-served), digest %.2fs, "
+                    "replay %.2fs\n",
+                    sweep.captureSeconds, sweep.digestSeconds,
+                    sweep.replaySeconds);
     return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string sub = argv[2];
+    const std::string dir = argv[3];
+
+    if (sub == "ls") {
+        if (argc != 4)
+            return usage();
+        const std::vector<trace::CacheEntry> entries =
+            trace::listTraceCache(dir);
+        TablePrinter table({"trace", "config hash", "bytes", "age (s)",
+                            "header"});
+        const auto now =
+            std::filesystem::file_time_type::clock::now();
+        std::uint64_t total = 0;
+        for (const trace::CacheEntry &entry : entries) {
+            total += entry.bytes;
+            const double age =
+                std::chrono::duration<double>(now - entry.mtime).count();
+            char hash[17];
+            std::snprintf(hash, sizeof hash, "%016llx",
+                          (unsigned long long)entry.configHash);
+            table.addRow({
+                std::filesystem::path(entry.path).filename().string(),
+                entry.status == trace::TraceStatus::Ok ? hash : "-",
+                std::to_string(entry.bytes),
+                fmtDouble(age < 0 ? 0.0 : age, 0),
+                trace::traceStatusName(entry.status),
+            });
+        }
+        if (entries.empty())
+            std::printf("(no traces under %s)\n", dir.c_str());
+        else
+            std::fputs(table.render().c_str(), stdout);
+        std::printf("%zu traces, %llu bytes total (oldest first = "
+                    "first to evict)\n",
+                    entries.size(), (unsigned long long)total);
+        return 0;
+    }
+
+    if (sub == "gc") {
+        std::uint64_t max_bytes = 0;
+        bool have_budget = false;
+        std::string v;
+        for (int i = 4; i < argc; ++i) {
+            if (nextArg(argc, argv, &i, "--max-bytes", &v)) {
+                max_bytes = uintArg(v, "--max-bytes");
+                have_budget = true;
+            } else
+                return usage();
+        }
+        if (!have_budget) {
+            std::fprintf(stderr,
+                         "laser_trace: cache gc requires --max-bytes N\n");
+            return 1;
+        }
+        const trace::CacheGcResult gc =
+            trace::gcTraceCache(dir, max_bytes);
+        std::printf("scanned %zu traces (%llu bytes), evicted %zu "
+                    "(LRU by mtime), %llu bytes remain (budget %llu)\n",
+                    gc.scanned, (unsigned long long)gc.bytesBefore,
+                    gc.evicted, (unsigned long long)gc.bytesAfter,
+                    (unsigned long long)max_bytes);
+        return 0;
+    }
+    return usage();
 }
 
 } // namespace
@@ -355,5 +579,7 @@ main(int argc, char **argv)
         return cmdReplay(argc, argv);
     if (cmd == "sweep")
         return cmdSweep(argc, argv);
+    if (cmd == "cache")
+        return cmdCache(argc, argv);
     return usage();
 }
