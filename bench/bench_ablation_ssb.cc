@@ -76,6 +76,7 @@ int
 main()
 {
     bench::banner("SSB design ablation", "Section 5.5 design choices");
+    obs::BenchReport telemetry("ablation_ssb");
 
     std::vector<std::uint32_t> stores;
     isa::Program native_prog = fsKernel(&stores);
@@ -117,12 +118,22 @@ main()
         {"FIFO queue, cap 1024 (unbounded-ish)", &with_alias.program,
          sim::SsbMode::Fifo, 1024},
     };
+    obs::Json rows = obs::Json::array();
     for (const Variant &v : variants) {
         Row r = run(*v.prog, v.mode, v.maxEntries);
         table.addRow({v.name, fmtCount(r.cycles),
                       fmtTimes(double(r.cycles) / double(ns.cycles)),
                       fmtCount(r.hitms), fmtCount(r.flushes),
                       fmtCount(r.maxEntries)});
+        obs::Json j = obs::Json::object();
+        j.set("configuration", obs::Json(v.name));
+        j.set("cycles", obs::Json(r.cycles));
+        j.set("vs_native", obs::Json(double(r.cycles) /
+                                     double(ns.cycles)));
+        j.set("hitms", obs::Json(r.hitms));
+        j.set("flushes", obs::Json(r.flushes));
+        j.set("max_ssb_entries", obs::Json(r.maxEntries));
+        rows.push(std::move(j));
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\nShape check: the coalescing SSB keeps a handful of "
@@ -130,5 +141,10 @@ main()
                 "entry count explodes with store count (the paper's "
                 "space argument); tiny caps flush constantly and give "
                 "back the contention.\n");
+
+    telemetry.results()
+        .set("native_cycles", obs::Json(ns.cycles))
+        .set("rows", std::move(rows));
+    bench::writeTelemetry(telemetry, nullptr);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/accuracy.h"
 #include "core/experiment.h"
 #include "core/sweep_runner.h"
+#include "obs/export.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/workload.h"
@@ -52,6 +53,23 @@ sweepConfig()
     if (const char *dir = std::getenv("LASER_TRACE_CACHE"))
         cfg.cacheDir = dir;
     return cfg;
+}
+
+/**
+ * Write a bench's telemetry artifacts (BENCH_<name>.json plus the
+ * registry snapshot/span trace) when LASER_METRICS_OUT is set, folding
+ * in the sweep runner's cache counters, and tell the user where they
+ * went. Benches without a sweep runner pass nullptr.
+ */
+inline void
+writeTelemetry(obs::BenchReport &report, const core::SweepStats *stats)
+{
+    if (stats)
+        report.setSweep(stats->machineRuns, stats->memoryCacheHits,
+                        stats->diskCacheHits);
+    if (report.write())
+        std::printf("\ntelemetry: wrote %s (+ METRICS/TRACE artifacts)\n",
+                    report.path().c_str());
 }
 
 /** Paper's Figure 10 LASER bars where readable (by workload name). */

@@ -153,6 +153,7 @@ int
 main()
 {
     bench::banner("HITM record accuracy characterization", "Figure 3");
+    obs::BenchReport telemetry("fig03_characterization");
 
     struct Category
     {
@@ -176,6 +177,7 @@ main()
                         "wrongAddr unmapped"});
 
     int total_cases = 0;
+    obs::Json cat_rows = obs::Json::array();
     for (const Category &cat : cats) {
         std::vector<double> addr, exact, adj, wpc, wad;
         std::size_t records = 0;
@@ -208,6 +210,16 @@ main()
             fmtPercent(mean(wpc)),
             fmtPercent(mean(wad)),
         });
+        obs::Json r = obs::Json::object();
+        r.set("category", obs::Json(std::string(cat.name)));
+        r.set("cases", obs::Json(std::uint64_t(addr.size())));
+        r.set("records", obs::Json(std::uint64_t(records)));
+        r.set("addr_correct", obs::Json(mean(addr)));
+        r.set("pc_exact", obs::Json(mean(exact)));
+        r.set("pc_adjacent", obs::Json(mean(adj)));
+        r.set("wrong_pc_in_binary", obs::Json(mean(wpc)));
+        r.set("wrong_addr_unmapped", obs::Json(mean(wad)));
+        cat_rows.push(std::move(r));
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\ntotal test cases: %d (paper: >160)\n"
@@ -215,5 +227,10 @@ main()
                 "adjacent PCs ~70%%), WW categories imprecise; wrong PCs "
                 ">99%% in-binary; wrong addresses ~95%% unmapped.\n",
                 total_cases);
+
+    telemetry.results()
+        .set("total_cases", obs::Json(total_cases))
+        .set("categories", std::move(cat_rows));
+    bench::writeTelemetry(telemetry, nullptr);
     return 0;
 }

@@ -72,6 +72,7 @@ int
 main()
 {
     bench::banner("Rate-threshold sensitivity", "Figure 9");
+    obs::BenchReport telemetry("fig09_threshold_sweep");
 
     std::vector<const workloads::WorkloadDef *> defs;
     for (const auto &w : workloads::allWorkloads())
@@ -117,5 +118,25 @@ main()
     std::printf("\nShape check (paper Fig. 9): FPs fall as the threshold "
                 "rises (log scale); FNs appear only at the high end; the "
                 "1K default sits in the flat valley.\n");
+
+    obs::Json rows = obs::Json::array();
+    for (const core::ThresholdSweepRow &row : sweep.rows) {
+        obs::Json r = obs::Json::object();
+        r.set("threshold", obs::Json(row.threshold));
+        r.set("false_negatives", obs::Json(row.falseNegatives));
+        r.set("false_positives", obs::Json(row.falsePositives));
+        rows.push(std::move(r));
+    }
+    telemetry.results()
+        .set("workloads", obs::Json(std::uint64_t(defs.size())))
+        .set("sweep_points", obs::Json(std::uint64_t(sweep.replays)))
+        .set("shards_per_digest", obs::Json(sweep.shardsPerDigest))
+        .set("capture_seconds", obs::Json(sweep.captureSeconds))
+        .set("digest_seconds", obs::Json(sweep.digestSeconds))
+        .set("replay_seconds", obs::Json(sweep.replaySeconds))
+        .set("replay_speedup", obs::Json(sweep.replaySpeedup()))
+        .set("rows", std::move(rows));
+    const core::SweepStats stats = runner.stats();
+    bench::writeTelemetry(telemetry, &stats);
     return 0;
 }

@@ -31,6 +31,7 @@ int
 main()
 {
     bench::banner("Monitoring/repair overhead", "Figure 10");
+    obs::BenchReport telemetry("fig10_overhead");
 
     const auto &all = workloads::allWorkloads();
     core::SweepRunner sweep(bench::sweepConfig());
@@ -124,5 +125,17 @@ main()
                 "and uniformly low; VTune's interrupt-per-event "
                 "collection costs much more, worst on the load-saturated "
                 "string_match (paper ~7x).\n");
+
+    int repairs_applied = 0;
+    for (const Row &row : rows)
+        repairs_applied += row.repairApplied ? 1 : 0;
+    telemetry.results()
+        .set("workloads", obs::Json(std::uint64_t(all.size())))
+        .set("laser_geomean", obs::Json(geomean(laser_norm)))
+        .set("vtune_geomean", obs::Json(geomean(vtune_norm)))
+        .set("laser_worst", obs::Json(maxOf(laser_norm)))
+        .set("vtune_worst", obs::Json(maxOf(vtune_norm)))
+        .set("repairs_applied", obs::Json(repairs_applied));
+    bench::writeTelemetry(telemetry, &stats);
     return 0;
 }

@@ -30,6 +30,7 @@ int
 main()
 {
     bench::banner("SAV sensitivity on dedup", "Figure 13");
+    obs::BenchReport telemetry("fig13_sav_sweep");
 
     const auto *dedup = workloads::findWorkload("dedup");
     // dedup's pipeline timing is interleaving-sensitive; use the paper's
@@ -116,5 +117,20 @@ main()
                 per_replay > 0.0 ? per_sim / per_replay : 0.0);
     std::printf("\nShape check (paper): ~1.5x at SAV=1 falling to ~1.06x "
                 "by SAV=19 with no marginal benefit beyond.\n");
+
+    obs::Json sav_rows = obs::Json::array();
+    for (std::size_t si = 0; si < nsav; ++si) {
+        obs::Json r = obs::Json::object();
+        r.set("sav", obs::Json(std::uint64_t(savs[si])));
+        r.set("normalized_runtime", obs::Json(trimmedMean(norms[si])));
+        r.set("records", obs::Json(records[si]));
+        sav_rows.push(std::move(r));
+    }
+    telemetry.results()
+        .set("seeds", obs::Json(std::uint64_t(nseed)))
+        .set("capture_seconds", obs::Json(capture_seconds))
+        .set("replay_seconds", obs::Json(replay_seconds))
+        .set("rows", std::move(sav_rows));
+    bench::writeTelemetry(telemetry, &stats);
     return 0;
 }

@@ -32,6 +32,7 @@ int
 main()
 {
     bench::banner("Comparison with Sheriff", "Figure 14");
+    obs::BenchReport telemetry("fig14_sheriff");
 
     // The Figure 14 benchmark set.
     const char *names[] = {
@@ -158,5 +159,32 @@ main()
                 "linear_regression run fast) but sync-heavy workloads "
                 "(water_nsquared) slow down severely under both Sheriff "
                 "schemes.\n");
+
+    obs::Json result_rows = obs::Json::array();
+    for (const Row &row : rows) {
+        obs::Json r = obs::Json::object();
+        r.set("benchmark", obs::Json(std::string(row.w->info.name)));
+        r.set("small_input", obs::Json(row.small));
+        r.set("sheriff_crashes", obs::Json(row.sheriffCrashes));
+        r.set("laser_norm", obs::Json(double(row.laserCycles) /
+                                      double(row.nativeCycles)));
+        if (row.manualFixCycles)
+            r.set("manual_fix_norm",
+                  obs::Json(double(row.manualFixCycles) /
+                            double(row.nativeCycles)));
+        if (row.sheriffDetectCycles)
+            r.set("sheriff_detect_norm",
+                  obs::Json(double(row.sheriffDetectCycles) /
+                            double(row.sheriffNativeCycles)));
+        if (row.sheriffProtectCycles)
+            r.set("sheriff_protect_norm",
+                  obs::Json(double(row.sheriffProtectCycles) /
+                            double(row.sheriffNativeCycles)));
+        result_rows.push(std::move(r));
+    }
+    telemetry.results()
+        .set("workloads", obs::Json(std::uint64_t(n)))
+        .set("rows", std::move(result_rows));
+    bench::writeTelemetry(telemetry, &stats);
     return 0;
 }

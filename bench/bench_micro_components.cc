@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "detect/cacheline_model.h"
+#include "obs/export.h"
 #include "detect/detector.h"
 #include "isa/assembler.h"
 #include "pebs/monitor.h"
@@ -144,4 +145,20 @@ BM_InterpreterThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_InterpreterThroughput);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run also emits BENCH_micro_components
+// telemetry (per-benchmark wall times land in the registry snapshot via
+// span histograms recorded by the instrumented components themselves).
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    obs::BenchReport telemetry("micro_components");
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    telemetry.results().set("benchmarks_run",
+                            obs::Json(std::uint64_t(ran)));
+    telemetry.write();
+    return 0;
+}

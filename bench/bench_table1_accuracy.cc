@@ -33,6 +33,7 @@ int
 main()
 {
     bench::banner("Detection accuracy", "Table 1");
+    obs::BenchReport telemetry("table1_accuracy");
 
     const auto &all = workloads::allWorkloads();
     core::SweepRunner runner(bench::sweepConfig());
@@ -143,5 +144,16 @@ main()
     std::printf("Shape check: LASER misses no bugs and reports fewer "
                 "spurious lines than VTune; Sheriff runs on only a "
                 "fraction of the suite.\n");
+
+    telemetry.results()
+        .set("workloads", obs::Json(std::uint64_t(all.size())))
+        .set("total_bugs", obs::Json(total_bugs))
+        .set("laser_false_negatives", obs::Json(laser_fn))
+        .set("laser_false_positives", obs::Json(laser_fp))
+        .set("vtune_false_negatives", obs::Json(vtune_fn))
+        .set("vtune_false_positives", obs::Json(vtune_fp))
+        .set("sheriff_false_negatives", obs::Json(sheriff_fn))
+        .set("sheriff_false_positives", obs::Json(sheriff_fp));
+    bench::writeTelemetry(telemetry, &stats);
     return 0;
 }

@@ -19,6 +19,7 @@ int
 main()
 {
     bench::banner("Contention type identification", "Table 2");
+    obs::BenchReport telemetry("table2_contention_type");
 
     core::ExperimentRunner runner;
     TablePrinter table({"benchmark", "actual", "LASER (measured)",
@@ -39,6 +40,7 @@ main()
         };
 
     int correct = 0, total = 0;
+    obs::Json rows = obs::Json::array();
     for (const auto *w : workloads::buggyWorkloads()) {
         core::RunResult laser = runner.run(*w, core::Scheme::Laser);
         const detect::ContentionType reported =
@@ -71,11 +73,23 @@ main()
             sheriff,
             it != paper.end() ? it->second.second : "?",
         });
+        obs::Json r = obs::Json::object();
+        r.set("benchmark", obs::Json(std::string(w->info.name)));
+        r.set("actual", obs::Json(actual));
+        r.set("laser", obs::Json(measured));
+        r.set("sheriff", obs::Json(sheriff));
+        rows.push(std::move(r));
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\nmeasured: %d/%d types match the ground-truth "
                 "database (paper: 6/9, with linear_regression "
                 "unclassifiable).\n",
                 correct, total);
+
+    telemetry.results()
+        .set("correct", obs::Json(correct))
+        .set("total", obs::Json(total))
+        .set("rows", std::move(rows));
+    bench::writeTelemetry(telemetry, nullptr);
     return 0;
 }

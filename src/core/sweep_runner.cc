@@ -1,12 +1,15 @@
 #include "core/sweep_runner.h"
 
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <stdexcept>
 
 #include "core/accuracy.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "trace/parallel_replay.h"
 #include "trace/replay.h"
 
@@ -26,9 +29,43 @@ std::string
 hexKey(std::uint64_t key)
 {
     char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(key));
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, key);
     return buf;
+}
+
+/** Registry handles for the sweep counters (resolved once). */
+struct SweepMetrics
+{
+    obs::Counter &machineRuns;
+    obs::Counter &memoryHits;
+    obs::Counter &diskHits;
+    obs::Counter &inflightDedup;
+    obs::Counter &bytesRead;
+    obs::Counter &bytesWritten;
+    obs::Histogram &captureSeconds;
+
+    static SweepMetrics &
+    get()
+    {
+        static SweepMetrics m{
+            obs::Registry::global().counter("sweep.machine_runs"),
+            obs::Registry::global().counter("sweep.cache_hits.memory"),
+            obs::Registry::global().counter("sweep.cache_hits.disk"),
+            obs::Registry::global().counter("sweep.inflight_dedup"),
+            obs::Registry::global().counter("trace.cache.bytes_read"),
+            obs::Registry::global().counter("trace.cache.bytes_written"),
+            obs::Registry::global().histogram("sweep.capture_seconds"),
+        };
+        return m;
+    }
+};
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(n);
 }
 
 } // namespace
@@ -41,6 +78,8 @@ hexKey(std::uint64_t key)
 struct SweepRunner::Entry
 {
     std::once_flag once;
+    /** Set after the once-callable finished (dedup accounting only). */
+    std::atomic<bool> ready{false};
     std::shared_ptr<const trace::Trace> trace;
 };
 
@@ -69,8 +108,10 @@ SweepRunner::loadOrRun(std::uint64_t key,
                        const workloads::WorkloadDef &workload,
                        const trace::CaptureOptions &opt)
 {
+    SweepMetrics &metrics = SweepMetrics::get();
     const std::string path = cachePath(key);
     if (!path.empty()) {
+        LASER_SPAN("sweep.disk_load");
         trace::TraceReader reader;
         if (reader.readFile(path) == trace::TraceStatus::Ok &&
                 trace::configHash(reader.trace().meta) == key) {
@@ -79,6 +120,8 @@ SweepRunner::loadOrRun(std::uint64_t key,
             std::error_code ec;
             std::filesystem::last_write_time(
                 path, std::filesystem::file_time_type::clock::now(), ec);
+            metrics.diskHits.inc();
+            metrics.bytesRead.inc(fileBytes(path));
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.diskCacheHits;
             return std::make_shared<trace::Trace>(reader.takeTrace());
@@ -87,14 +130,23 @@ SweepRunner::loadOrRun(std::uint64_t key,
         // (the fresh capture overwrites it).
     }
 
-    auto trace =
-        std::make_shared<trace::Trace>(trace::captureTrace(workload, opt));
+    std::shared_ptr<trace::Trace> trace;
+    const auto start = std::chrono::steady_clock::now();
+    {
+        LASER_SPAN("sweep.simulate");
+        trace = std::make_shared<trace::Trace>(
+            trace::captureTrace(workload, opt));
+    }
+    metrics.machineRuns.inc();
+    metrics.captureSeconds.record(secondsSince(start));
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.machineRuns;
     }
-    if (!path.empty())
+    if (!path.empty()) {
         trace::writeTraceFile(*trace, path);
+        metrics.bytesWritten.inc(fileBytes(path));
+    }
     return trace;
 }
 
@@ -117,12 +169,20 @@ SweepRunner::capture(const workloads::WorkloadDef &workload,
         entry = slot;
     }
     if (!created) {
+        SweepMetrics &metrics = SweepMetrics::get();
+        metrics.memoryHits.inc();
+        // A hit on an entry whose capture is still running means this
+        // request was coalesced with an in-flight identical one.
+        if (!entry->ready.load(std::memory_order_acquire))
+            metrics.inflightDedup.inc();
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.memoryCacheHits;
     }
 
-    std::call_once(entry->once,
-                   [&] { entry->trace = loadOrRun(key, workload, opt); });
+    std::call_once(entry->once, [&] {
+        entry->trace = loadOrRun(key, workload, opt);
+        entry->ready.store(true, std::memory_order_release);
+    });
     return entry->trace;
 }
 
@@ -179,13 +239,17 @@ thresholdSweep(SweepRunner &runner,
     std::vector<std::shared_ptr<const trace::Trace>> traces(nw);
     std::vector<std::unique_ptr<trace::TraceReplayer>> replayers(nw);
     const auto capture_start = std::chrono::steady_clock::now();
-    runner.parallelFor(nw, [&](std::size_t i) {
-        traces[i] = runner.capture(*defs[i], opt);
-        replayers[i] = std::make_unique<trace::TraceReplayer>(*traces[i]);
-        if (!replayers[i]->ok())
-            throw std::runtime_error("thresholdSweep: " +
-                                     replayers[i]->error());
-    });
+    {
+        LASER_SPAN("sweep.phase.capture");
+        runner.parallelFor(nw, [&](std::size_t i) {
+            traces[i] = runner.capture(*defs[i], opt);
+            replayers[i] =
+                std::make_unique<trace::TraceReplayer>(*traces[i]);
+            if (!replayers[i]->ok())
+                throw std::runtime_error("thresholdSweep: " +
+                                         replayers[i]->error());
+        });
+    }
     result.captureSeconds = secondsSince(capture_start);
     result.machineRuns = runner.stats().machineRuns - before.machineRuns;
 
@@ -194,15 +258,19 @@ thresholdSweep(SweepRunner &runner,
     // pass over the record streams the whole sweep makes.
     std::vector<std::unique_ptr<trace::ParallelReplayer>> digests(nw);
     const auto digest_start = std::chrono::steady_clock::now();
-    runner.parallelFor(nw, [&](std::size_t i) {
-        trace::ParallelReplayer::Options popt;
-        popt.shards = shards;
-        // Nested parallelFor: shard jobs queue on the shared pool and
-        // this worker helps drain them, so digests overlap freely.
-        popt.pool = &runner.pool();
-        digests[i] = std::make_unique<trace::ParallelReplayer>(
-            *replayers[i], popt);
-    });
+    {
+        LASER_SPAN("sweep.phase.digest");
+        runner.parallelFor(nw, [&](std::size_t i) {
+            trace::ParallelReplayer::Options popt;
+            popt.shards = shards;
+            // Nested parallelFor: shard jobs queue on the shared pool
+            // and this worker helps drain them, so digests overlap
+            // freely.
+            popt.pool = &runner.pool();
+            digests[i] = std::make_unique<trace::ParallelReplayer>(
+                *replayers[i], popt);
+        });
+    }
     result.digestSeconds = secondsSince(digest_start);
 
     // Phase 3: every sweep point is a rate scan + report build over the
@@ -210,18 +278,22 @@ thresholdSweep(SweepRunner &runner,
     std::vector<std::vector<ThresholdSweepRow>> cells(
         nt, std::vector<ThresholdSweepRow>(nw));
     const auto replay_start = std::chrono::steady_clock::now();
-    runner.parallelFor(nw * nt, [&](std::size_t job) {
-        const std::size_t wi = job / nt;
-        const std::size_t ti = job % nt;
-        detect::DetectorConfig cfg;
-        cfg.rateThreshold = thresholds[ti];
-        cfg.sav = opt.sav;
-        const detect::DetectionReport report = digests[wi]->replay(cfg);
-        const AccuracyResult acc =
-            evaluateAccuracy(defs[wi]->info, reportLocations(report));
-        cells[ti][wi].falseNegatives = acc.falseNegatives;
-        cells[ti][wi].falsePositives = acc.falsePositives;
-    });
+    {
+        LASER_SPAN("sweep.phase.replay");
+        runner.parallelFor(nw * nt, [&](std::size_t job) {
+            const std::size_t wi = job / nt;
+            const std::size_t ti = job % nt;
+            detect::DetectorConfig cfg;
+            cfg.rateThreshold = thresholds[ti];
+            cfg.sav = opt.sav;
+            const detect::DetectionReport report =
+                digests[wi]->replay(cfg);
+            const AccuracyResult acc = evaluateAccuracy(
+                defs[wi]->info, reportLocations(report));
+            cells[ti][wi].falseNegatives = acc.falseNegatives;
+            cells[ti][wi].falsePositives = acc.falsePositives;
+        });
+    }
     result.replaySeconds = secondsSince(replay_start);
 
     for (std::size_t ti = 0; ti < nt; ++ti) {

@@ -32,12 +32,35 @@
 
 namespace laser::core {
 
-/** Cache / execution counters (cumulative over the runner's lifetime). */
+/**
+ * Cache / execution counters (cumulative over the runner's lifetime).
+ * Every increment is mirrored into the global obs registry
+ * (sweep.machine_runs, sweep.cache_hits.memory, sweep.cache_hits.disk,
+ * sweep.inflight_dedup, trace.cache.bytes_read/written), which is what
+ * tools and benches export; the struct remains the per-runner view so
+ * concurrent runners in one process stay separable.
+ */
 struct SweepStats
 {
     std::uint64_t machineRuns = 0;     ///< actual simulations executed
     std::uint64_t memoryCacheHits = 0; ///< served from the in-memory cache
     std::uint64_t diskCacheHits = 0;   ///< loaded from the cache directory
+
+    std::uint64_t
+    captures() const
+    {
+        return machineRuns + memoryCacheHits + diskCacheHits;
+    }
+
+    /** Fraction of capture requests served without a simulation. */
+    double
+    cacheHitRate() const
+    {
+        const std::uint64_t total = captures();
+        return total ? double(memoryCacheHits + diskCacheHits) /
+                           double(total)
+                     : 0.0;
+    }
 };
 
 class SweepRunner

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/timing.h"
 
 namespace laser::detect {
@@ -89,6 +90,11 @@ RateScanState::step(std::uint64_t cycle, SharingOutcome outcome,
             repairTriggerCycle = cycle;
         }
     }
+    // One epoch (rate-check window) closed; its span in cycles is the
+    // detection latency granularity the online repair trigger works at.
+    static obs::Histogram &epoch_cycles =
+        obs::Registry::global().histogram("detect.epoch_cycles");
+    epoch_cycles.record(double(cycle - windowStart));
     windowStart = cycle;
     windowRecords = 0;
     windowFs = 0;

@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace laser::detect {
+
+namespace {
+
+/**
+ * Pipeline counters. Handles resolve once; the hot path never touches
+ * them — onRecord bumps plain DetectorState fields and publishMetrics
+ * flushes the deltas in bulk (bench_obs_overhead measures the margin).
+ */
+struct PipelineMetrics
+{
+    obs::Counter &records;
+    obs::Counter &ts;
+    obs::Counter &fs;
+
+    static PipelineMetrics &
+    get()
+    {
+        static PipelineMetrics m{
+            obs::Registry::global().counter("detect.records_ingested"),
+            obs::Registry::global().counter("detect.hitm_classified.ts"),
+            obs::Registry::global().counter("detect.hitm_classified.fs"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 DetectorContext::DetectorContext(const isa::Program &prog,
                                  const mem::AddressSpace &space,
@@ -21,6 +50,23 @@ DetectorPipeline::DetectorPipeline(const DetectorContext &ctx,
                                    DetectorConfig cfg, Mode mode)
     : ctx_(ctx), cfg_(cfg), mode_(mode)
 {
+}
+
+DetectorPipeline::~DetectorPipeline() { publishMetrics(); }
+
+void
+DetectorPipeline::publishMetrics() const
+{
+    PipelineMetrics &m = PipelineMetrics::get();
+    if (state_.totalRecords > pubRecords_)
+        m.records.inc(state_.totalRecords - pubRecords_);
+    if (state_.tsEvents > pubTs_)
+        m.ts.inc(state_.tsEvents - pubTs_);
+    if (state_.fsEvents > pubFs_)
+        m.fs.inc(state_.fsEvents - pubFs_);
+    pubRecords_ = state_.totalRecords;
+    pubTs_ = state_.tsEvents;
+    pubFs_ = state_.fsEvents;
 }
 
 void
@@ -102,6 +148,7 @@ DetectorPipeline::onRecord(const pebs::PebsRecord &rec)
 DetectionReport
 DetectorPipeline::finish(std::uint64_t total_cycles) const
 {
+    publishMetrics();
     return buildReport(ctx_, cfg_, state_, scan_, total_cycles);
 }
 

@@ -1,0 +1,127 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/span.h"
+
+namespace laser::obs {
+
+namespace {
+
+bool
+writeFileAtomicEnough(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+/** Ensure the metrics dir exists; "" when telemetry is off. */
+std::string
+preparedMetricsDir()
+{
+    const std::string dir = metricsDir();
+    if (dir.empty())
+        return dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    // An uncreatable directory degrades to failed writes below.
+    return dir;
+}
+
+} // namespace
+
+std::string
+metricsDir()
+{
+    const char *dir = std::getenv("LASER_METRICS_OUT");
+    return dir ? dir : "";
+}
+
+bool
+exportProcessMetrics(const std::string &name, const Registry &reg)
+{
+    const std::string dir = preparedMetricsDir();
+    if (dir.empty())
+        return false;
+
+    const Snapshot snap = reg.snapshot();
+    bool ok = writeFileAtomicEnough(dir + "/METRICS_" + name + ".json",
+                                    snap.toJson().dump(2) + "\n");
+    ok &= writeFileAtomicEnough(dir + "/METRICS_" + name + ".prom",
+                                snap.toPrometheus());
+
+    const SpanCollector &spans = SpanCollector::global();
+    if (spans.eventCount() > 0) {
+        const char *override_path = std::getenv("LASER_TRACE_EVENTS");
+        const std::string trace_path =
+            override_path ? override_path
+                          : dir + "/TRACE_" + name + ".json";
+        ok &= spans.writeFile(trace_path);
+    }
+    return ok;
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+    // Arm span collection for the whole bench run even if the collector
+    // was created before the environment was inspected (tests).
+    if (!metricsDir().empty())
+        SpanCollector::global().enable();
+}
+
+void
+BenchReport::setSweep(std::uint64_t machine_runs,
+                      std::uint64_t memory_cache_hits,
+                      std::uint64_t disk_cache_hits)
+{
+    haveSweep_ = true;
+    machineRuns_ = machine_runs;
+    memoryCacheHits_ = memory_cache_hits;
+    diskCacheHits_ = disk_cache_hits;
+}
+
+std::string
+BenchReport::path() const
+{
+    const std::string dir = metricsDir();
+    if (dir.empty())
+        return "";
+    return dir + "/BENCH_" + name_ + ".json";
+}
+
+bool
+BenchReport::write(const Registry &reg)
+{
+    const std::string dir = preparedMetricsDir();
+    if (dir.empty())
+        return false;
+
+    Json root = Json::object();
+    root.set("schema_version", Json(kBenchSchemaVersion));
+    root.set("bench", Json(name_));
+    root.set("wall_seconds",
+             Json(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count()));
+    Json sweep = Json::object();
+    sweep.set("machine_runs", Json(machineRuns_));
+    sweep.set("memory_cache_hits", Json(memoryCacheHits_));
+    sweep.set("disk_cache_hits", Json(diskCacheHits_));
+    root.set("sweep", std::move(sweep));
+    root.set("results", results_);
+    root.set("metrics", reg.snapshot().toJson());
+
+    const bool ok =
+        writeFileAtomicEnough(path(), root.dump(2) + "\n");
+    exportProcessMetrics(name_, reg);
+    return ok;
+}
+
+} // namespace laser::obs

@@ -1,0 +1,384 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace laser::obs {
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+Json &
+Json::set(std::string key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    for (auto &[k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+Json::asNumber(double fallback) const
+{
+    return type_ == Type::Number ? num_ : fallback;
+}
+
+bool
+Json::asBool(bool fallback) const
+{
+    return type_ == Type::Bool ? bool_ : fallback;
+}
+
+namespace {
+
+void
+appendEscaped(std::string *out, const std::string &s)
+{
+    out->push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': *out += "\\\""; break;
+        case '\\': *out += "\\\\"; break;
+        case '\n': *out += "\\n"; break;
+        case '\r': *out += "\\r"; break;
+        case '\t': *out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                *out += buf;
+            } else {
+                out->push_back(c);
+            }
+        }
+    }
+    out->push_back('"');
+}
+
+void
+appendNumber(std::string *out, double d)
+{
+    if (!std::isfinite(d)) {
+        *out += "null"; // JSON has no Inf/NaN
+        return;
+    }
+    // Exact-integer values print without an exponent or fraction so
+    // counters stay greppable; everything else is shortest round-trip.
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof buf,
+                                     static_cast<std::int64_t>(d));
+        out->append(buf, r.ptr);
+        return;
+    }
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof buf, d);
+    out->append(buf, r.ptr);
+}
+
+void
+appendIndent(std::string *out, int indent, int depth)
+{
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string *out, int indent, int depth) const
+{
+    switch (type_) {
+    case Type::Null: *out += "null"; return;
+    case Type::Bool: *out += bool_ ? "true" : "false"; return;
+    case Type::Number: appendNumber(out, num_); return;
+    case Type::String: appendEscaped(out, str_); return;
+    case Type::Array: {
+        if (items_.empty()) {
+            *out += "[]";
+            return;
+        }
+        out->push_back('[');
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out->push_back(',');
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            appendIndent(out, indent, depth);
+        out->push_back(']');
+        return;
+    }
+    case Type::Object: {
+        if (members_.empty()) {
+            *out += "{}";
+            return;
+        }
+        out->push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out->push_back(',');
+            if (indent > 0)
+                appendIndent(out, indent, depth + 1);
+            appendEscaped(out, members_[i].first);
+            out->push_back(':');
+            if (indent > 0)
+                out->push_back(' ');
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            appendIndent(out, indent, depth);
+        out->push_back('}');
+        return;
+    }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(&out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent over the string view.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool fail(const std::string &what)
+    {
+        err = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool parseString(std::string *out)
+    {
+        skipWs();
+        if (!consume('"'))
+            return fail("expected string");
+        out->clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // not produced by our dumper; pass them through raw).
+                if (code < 0x80) {
+                    out->push_back(char(code));
+                } else if (code < 0x800) {
+                    out->push_back(char(0xC0 | (code >> 6)));
+                    out->push_back(char(0x80 | (code & 0x3F)));
+                } else {
+                    out->push_back(char(0xE0 | (code >> 12)));
+                    out->push_back(char(0x80 | ((code >> 6) & 0x3F)));
+                    out->push_back(char(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default: return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseValue(Json *out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            *out = Json::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json v;
+                if (!parseValue(&v))
+                    return false;
+                out->set(std::move(key), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            *out = Json::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                Json v;
+                if (!parseValue(&v))
+                    return false;
+                out->push(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Json(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            *out = Json(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            *out = Json(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            *out = Json();
+            return true;
+        }
+        // Number.
+        double d = 0.0;
+        const auto r = std::from_chars(text.data() + pos,
+                                       text.data() + text.size(), d);
+        if (r.ec != std::errc())
+            return fail("bad value");
+        pos = static_cast<std::size_t>(r.ptr - text.data());
+        *out = Json(d);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(std::string_view text, Json *out, std::string *err)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out)) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace laser::obs

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace laser::trace {
 
 namespace fs = std::filesystem;
@@ -77,6 +79,10 @@ gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
 
     // Oldest-first (the list is already in eviction order): delete until
     // the budget holds.
+    static obs::Counter &evictions =
+        obs::Registry::global().counter("trace.cache.gc_evictions");
+    static obs::Counter &evicted_bytes =
+        obs::Registry::global().counter("trace.cache.gc_bytes_evicted");
     for (const CacheEntry &entry : entries) {
         if (result.bytesAfter <= max_bytes)
             break;
@@ -84,6 +90,8 @@ gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
         if (fs::remove(entry.path, ec) && !ec) {
             ++result.evicted;
             result.bytesAfter -= entry.bytes;
+            evictions.inc();
+            evicted_bytes.inc(entry.bytes);
         }
     }
     return result;

@@ -5,6 +5,38 @@
 #include <stdexcept>
 
 #include "analysis/sink.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace {
+
+/** Registry handles for the replay metrics (resolved once). */
+struct ReplayMetrics
+{
+    laser::obs::Counter &digests;
+    laser::obs::Counter &recordsDigested;
+    laser::obs::Counter &reports;
+    laser::obs::Histogram &shardSeconds;
+    laser::obs::Histogram &mergeSeconds;
+    laser::obs::Histogram &shardSkewSeconds;
+
+    static ReplayMetrics &
+    get()
+    {
+        using laser::obs::Registry;
+        static ReplayMetrics m{
+            Registry::global().counter("replay.digests"),
+            Registry::global().counter("replay.records_digested"),
+            Registry::global().counter("replay.reports"),
+            Registry::global().histogram("replay.shard_seconds"),
+            Registry::global().histogram("replay.merge_seconds"),
+            Registry::global().histogram("replay.shard_skew_seconds"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 namespace laser::trace {
 
@@ -39,8 +71,14 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
 
     // Digest each contiguous time window independently. Shard pipelines
     // share the replayer's immutable context; each owns only its state.
+    ReplayMetrics &metrics = ReplayMetrics::get();
+    metrics.digests.inc();
     std::vector<detect::DetectorState> states(shards_);
+    std::vector<double> shard_seconds(
+        static_cast<std::size_t>(shards_), 0.0);
     const auto digest_shard = [&](std::size_t s) {
+        LASER_SPAN("replay.shard");
+        const auto start = std::chrono::steady_clock::now();
         const std::size_t begin = n * s / shards_;
         const std::size_t end = n * (s + 1) / shards_;
         detect::DetectorPipeline pipeline(
@@ -48,6 +86,13 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
         for (std::size_t i = begin; i < end; ++i)
             pipeline.onRecord((*records)[i]);
         states[s] = pipeline.takeState();
+        metrics.recordsDigested.inc(end - begin);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        shard_seconds[s] = seconds;
+        metrics.shardSeconds.record(seconds);
     };
     if (opt.pool) {
         opt.pool->parallelFor(static_cast<std::size_t>(shards_),
@@ -59,17 +104,35 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
     } else {
         digest_shard(0);
     }
+    // Shard skew — slowest minus fastest window — is the load-balance
+    // signal for choosing shard counts (a time-skewed trace digests no
+    // faster than its hottest window).
+    if (shards_ > 1) {
+        const auto [min_it, max_it] = std::minmax_element(
+            shard_seconds.begin(), shard_seconds.end());
+        metrics.shardSkewSeconds.record(*max_it - *min_it);
+    }
 
     // Window-order merge: concatenating the shards' event streams in
     // this order reproduces the serial processing order exactly.
-    merged_ = std::move(states[0]);
-    for (int s = 1; s < shards_; ++s)
-        merged_.mergeFrom(std::move(states[s]));
+    {
+        LASER_SPAN("replay.merge");
+        const auto merge_start = std::chrono::steady_clock::now();
+        merged_ = std::move(states[0]);
+        for (int s = 1; s < shards_; ++s)
+            merged_.mergeFrom(std::move(states[s]));
+        metrics.mergeSeconds.record(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - merge_start)
+                .count());
+    }
 }
 
 detect::DetectionReport
 ParallelReplayer::replay(const detect::DetectorConfig &cfg) const
 {
+    LASER_SPAN("replay.report");
+    ReplayMetrics::get().reports.inc();
     const detect::RateScanState scan =
         detect::scanRateEvents(merged_.rateEvents, cfg);
     return detect::buildReport(env_->context(), cfg, merged_, scan,

@@ -6,19 +6,34 @@
  * The calling thread participates in draining the queue while it waits,
  * so a pool of N workers applies N+1 threads to a batch and nested
  * parallelFor calls cannot deadlock.
+ *
+ * Observability (global obs registry):
+ *   pool.tasks_completed        counter, one per executed task
+ *   pool.exceptions_suppressed  counter, batch exceptions beyond the
+ *                               first (the rethrown one)
+ *   pool.queue_depth            gauge, tasks currently queued
+ *   pool.queue_wait_seconds     histogram, enqueue -> dequeue latency
+ *   pool.task_seconds           histogram, task run time
+ *   pool.worker_idle_seconds    histogram, per idle episode (a worker
+ *                               waking from an empty queue)
  */
 
 #ifndef LASER_UTIL_THREAD_POOL_H
 #define LASER_UTIL_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace laser::util {
 
@@ -57,7 +72,10 @@ class ThreadPool
     /**
      * Run fn(0) .. fn(n-1) across the pool; blocks until every call has
      * completed. The first exception thrown by any call is rethrown here
-     * (after the whole batch has drained).
+     * (after the whole batch has drained); further exceptions from the
+     * same batch are counted in pool.exceptions_suppressed and noted in
+     * the rethrown message when the first one derives from
+     * std::exception.
      */
     void
     parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
@@ -71,6 +89,7 @@ class ThreadPool
             std::condition_variable done;
             std::size_t remaining;
             std::exception_ptr error;
+            std::size_t suppressed = 0;
         };
         auto batch = std::make_shared<Batch>();
         batch->remaining = n;
@@ -80,25 +99,32 @@ class ThreadPool
             for (std::size_t i = 0; i < n; ++i) {
                 // fn is captured by reference: parallelFor does not
                 // return until every task has finished running it.
-                queue_.push_back([batch, &fn, i] {
-                    try {
-                        fn(i);
-                    } catch (...) {
-                        std::lock_guard<std::mutex> lk(batch->mu);
-                        if (!batch->error)
-                            batch->error = std::current_exception();
-                    }
-                    std::lock_guard<std::mutex> lk(batch->mu);
-                    if (--batch->remaining == 0)
-                        batch->done.notify_all();
-                });
+                queue_.push_back({[batch, &fn, i] {
+                                      try {
+                                          fn(i);
+                                      } catch (...) {
+                                          std::lock_guard<std::mutex> lk(
+                                              batch->mu);
+                                          if (!batch->error)
+                                              batch->error =
+                                                  std::current_exception();
+                                          else
+                                              ++batch->suppressed;
+                                      }
+                                      std::lock_guard<std::mutex> lk(
+                                          batch->mu);
+                                      if (--batch->remaining == 0)
+                                          batch->done.notify_all();
+                                  },
+                                  clock::now()});
             }
+            queueDepthGauge().add(double(n));
         }
         cv_.notify_all();
 
         // Help drain until nothing is queued, then wait for stragglers.
         for (;;) {
-            std::function<void()> task;
+            Task task;
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 if (!queue_.empty()) {
@@ -106,42 +132,114 @@ class ThreadPool
                     queue_.pop_front();
                 }
             }
-            if (task) {
-                task();
+            if (task.fn) {
+                runTask(task);
                 continue;
             }
             break;
         }
+        std::size_t suppressed = 0;
+        std::exception_ptr error;
         {
             std::unique_lock<std::mutex> lk(batch->mu);
             batch->done.wait(lk, [&] { return batch->remaining == 0; });
-            if (batch->error)
-                std::rethrow_exception(batch->error);
+            error = batch->error;
+            suppressed = batch->suppressed;
         }
+        if (!error)
+            return;
+        if (suppressed > 0) {
+            static obs::Counter &suppressed_counter =
+                obs::Registry::global().counter(
+                    "pool.exceptions_suppressed");
+            suppressed_counter.inc(suppressed);
+            // Append a note for std::exceptions (the common case); a
+            // foreign exception type is rethrown untouched below.
+            try {
+                std::rethrow_exception(error);
+            } catch (const std::exception &e) {
+                throw std::runtime_error(
+                    std::string(e.what()) + " [" +
+                    std::to_string(suppressed) +
+                    " additional exception(s) from the same parallelFor "
+                    "batch suppressed]");
+            } catch (...) {
+            }
+        }
+        std::rethrow_exception(error);
     }
 
   private:
+    using clock = std::chrono::steady_clock;
+
+    struct Task
+    {
+        std::function<void()> fn;
+        clock::time_point enqueued{};
+    };
+
+    // Handle accessors: resolved once, then each call is one relaxed
+    // atomic on a thread-striped slot.
+    static obs::Gauge &
+    queueDepthGauge()
+    {
+        static obs::Gauge &g =
+            obs::Registry::global().gauge("pool.queue_depth");
+        return g;
+    }
+
+    void
+    runTask(Task &task)
+    {
+        static obs::Counter &completed =
+            obs::Registry::global().counter("pool.tasks_completed");
+        static obs::Histogram &queue_wait =
+            obs::Registry::global().histogram("pool.queue_wait_seconds");
+        static obs::Histogram &task_seconds =
+            obs::Registry::global().histogram("pool.task_seconds");
+
+        const auto start = clock::now();
+        queueDepthGauge().add(-1.0);
+        queue_wait.record(
+            std::chrono::duration<double>(start - task.enqueued).count());
+        task.fn();
+        completed.inc();
+        task_seconds.record(
+            std::chrono::duration<double>(clock::now() - start).count());
+    }
+
     void
     workerLoop()
     {
+        static obs::Histogram &idle_seconds =
+            obs::Registry::global().histogram("pool.worker_idle_seconds");
         for (;;) {
-            std::function<void()> task;
+            Task task;
             {
                 std::unique_lock<std::mutex> lock(mu_);
+                const auto idle_start = clock::now();
                 cv_.wait(lock,
                          [this] { return stop_ || !queue_.empty(); });
+                const double idle =
+                    std::chrono::duration<double>(clock::now() -
+                                                  idle_start)
+                        .count();
+                // Sub-microsecond "waits" are just the predicate check
+                // on a busy queue, not idleness.
+                if (idle >= 1e-6)
+                    idle_seconds.record(idle);
                 if (stop_ && queue_.empty())
                     return;
                 task = std::move(queue_.front());
                 queue_.pop_front();
             }
-            task();
+            runTask(task);
         }
     }
 
     std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     std::vector<std::thread> threads_;
     bool stop_ = false;
 };

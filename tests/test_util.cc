@@ -6,10 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace laser {
 namespace {
@@ -152,6 +158,60 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmtPercent(0.02), "2.0%");
     EXPECT_EQ(fmtCount(1234567), "1,234,567");
     EXPECT_EQ(fmtCount(12), "12");
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndex)
+{
+    util::ThreadPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SuppressedExceptionsCountedAndNoted)
+{
+    obs::setEnabled(true);
+    util::ThreadPool pool(4);
+    const std::uint64_t before =
+        obs::Registry::global()
+            .counter("pool.exceptions_suppressed")
+            .value();
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(16, [&](std::size_t i) {
+            ++ran;
+            throw std::runtime_error("job " + std::to_string(i));
+        });
+        FAIL() << "parallelFor should rethrow the first exception";
+    } catch (const std::exception &e) {
+        // Every job ran despite the failures; the rethrown message
+        // carries a note about the 15 suppressed ones.
+        EXPECT_EQ(ran.load(), 16);
+        EXPECT_NE(std::string(e.what()).find(
+                      "15 additional exception(s)"),
+                  std::string::npos);
+    }
+    const std::uint64_t after =
+        obs::Registry::global()
+            .counter("pool.exceptions_suppressed")
+            .value();
+    EXPECT_EQ(after - before, 15u);
+}
+
+TEST(ThreadPool, SingleExceptionRethrownUntouched)
+{
+    util::ThreadPool pool(2);
+    try {
+        pool.parallelFor(8, [](std::size_t i) {
+            if (i == 3)
+                throw std::out_of_range("only one");
+        });
+        FAIL() << "parallelFor should rethrow";
+    } catch (const std::out_of_range &e) {
+        // No suppressed siblings: the original type and message
+        // survive.
+        EXPECT_STREQ(e.what(), "only one");
+    }
 }
 
 TEST(Csv, EscapesSpecialCharacters)

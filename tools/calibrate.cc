@@ -11,6 +11,7 @@
 
 #include "core/accuracy.h"
 #include "core/experiment.h"
+#include "obs/export.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -121,5 +122,6 @@ main(int argc, char **argv)
                         (unsigned long long)t.trueAddr, t.isLoadUop);
         }
     }
+    obs::exportProcessMetrics("calibrate");
     return 0;
 }

@@ -32,6 +32,16 @@
  *   laser_trace cache gc DIR --max-bytes N
  *       Inventory a trace-cache directory / evict least-recently-used
  *       traces until it fits the byte budget.
+ *
+ *   laser_trace stats [FILE] [--prom]
+ *       Dump the process metrics registry snapshot as JSON (or
+ *       Prometheus text with --prom). With FILE, load a previously
+ *       exported METRICS_<name>.json snapshot and re-emit it instead —
+ *       the offline path for converting archived snapshots.
+ *
+ * Every command honors LASER_METRICS_OUT=<dir>: on exit the process
+ * registry snapshot (and any collected spans) is exported there as
+ * METRICS_laser_trace_<command>.{json,prom}.
  */
 
 #include <chrono>
@@ -43,8 +53,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "core/accuracy.h"
 #include "core/sweep_runner.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "trace/cache.h"
 #include "trace/capture.h"
 #include "trace/parallel_replay.h"
@@ -71,7 +87,8 @@ usage()
         "  sweep [--workloads a,b,...] [--thresholds t1,t2,...]\n"
         "        [--cache-dir DIR] [-j N] [--shards N]\n"
         "  cache ls DIR\n"
-        "  cache gc DIR --max-bytes N\n");
+        "  cache gc DIR --max-bytes N\n"
+        "  stats [FILE] [--prom]\n");
     return 1;
 }
 
@@ -134,6 +151,37 @@ splitCommas(const std::string &s)
         start = comma + 1;
     }
     return out;
+}
+
+/**
+ * One-line cache summary from a runner's stats (sweep) or the global
+ * registry (replay); silent when the command performed no captures.
+ */
+void
+printCacheHitRate(const core::SweepStats &stats)
+{
+    if (stats.captures() == 0)
+        return;
+    std::printf("trace cache hit rate: %.1f%% (%llu captures: %llu "
+                "simulated, %llu memory hits, %llu disk hits)\n",
+                1e2 * stats.cacheHitRate(),
+                (unsigned long long)stats.captures(),
+                (unsigned long long)stats.machineRuns,
+                (unsigned long long)stats.memoryCacheHits,
+                (unsigned long long)stats.diskCacheHits);
+}
+
+/** The sweep.* counters mirrored in the global registry, as a struct. */
+core::SweepStats
+registrySweepStats()
+{
+    core::SweepStats stats;
+    obs::Registry &reg = obs::Registry::global();
+    stats.machineRuns = reg.counter("sweep.machine_runs").value();
+    stats.memoryCacheHits =
+        reg.counter("sweep.cache_hits.memory").value();
+    stats.diskCacheHits = reg.counter("sweep.cache_hits.disk").value();
+    return stats;
 }
 
 void
@@ -400,20 +448,26 @@ cmdReplay(int argc, char **argv)
         return 2;
     }
 
-    if (t.meta.scheme == "vtune")
-        return replayVTuneTrace(t, replayer, thresholds);
-    if (t.meta.scheme == "sheriff-detect" ||
-            t.meta.scheme == "sheriff-protect")
-        return replaySheriffTrace(t, replayer);
-    if (t.meta.scheme == "native") {
+    int rc;
+    if (t.meta.scheme == "vtune") {
+        rc = replayVTuneTrace(t, replayer, thresholds);
+    } else if (t.meta.scheme == "sheriff-detect" ||
+               t.meta.scheme == "sheriff-protect") {
+        rc = replaySheriffTrace(t, replayer);
+    } else if (t.meta.scheme == "native") {
         std::printf("%s is a native capture (no analysis stream); "
                     "runtime %llu cycles (%.2f represented seconds)\n",
                     t.meta.workload.c_str(),
                     (unsigned long long)t.meta.runtimeCycles,
                     sim::representedSeconds(t.meta.runtimeCycles));
-        return 0;
+        rc = 0;
+    } else {
+        rc = replayLaser(t, replayer, thresholds, shards);
     }
-    return replayLaser(t, replayer, thresholds, shards);
+    // File replays capture nothing themselves; this reports hits only
+    // when the process also ran captures (silent otherwise).
+    printCacheHitRate(registrySweepStats());
+    return rc;
 }
 
 int
@@ -489,6 +543,7 @@ cmdSweep(int argc, char **argv)
                     "replay %.2fs\n",
                     sweep.captureSeconds, sweep.digestSeconds,
                     sweep.replaySeconds);
+    printCacheHitRate(stats);
     return 0;
 }
 
@@ -563,6 +618,96 @@ cmdCache(int argc, char **argv)
     return usage();
 }
 
+/**
+ * Rebuild a Snapshot from a METRICS_*.json document (the inverse of
+ * Snapshot::toJson, for offline --prom conversion). Returns false on a
+ * structurally foreign document.
+ */
+bool
+snapshotFromJson(const obs::Json &doc, obs::Snapshot *out)
+{
+    const obs::Json *counters = doc.find("counters");
+    const obs::Json *gauges = doc.find("gauges");
+    const obs::Json *hists = doc.find("histograms");
+    if (!counters || !gauges || !hists || !counters->isObject() ||
+            !gauges->isObject() || !hists->isObject())
+        return false;
+    for (const auto &[name, v] : counters->members())
+        out->counters.emplace_back(
+            name, std::uint64_t(v.asNumber()));
+    for (const auto &[name, v] : gauges->members())
+        out->gauges.emplace_back(name, v.asNumber());
+    for (const auto &[name, v] : hists->members()) {
+        obs::Histogram::Data d;
+        d.count = std::uint64_t(
+            v.find("count") ? v.find("count")->asNumber() : 0);
+        d.sum = v.find("sum") ? v.find("sum")->asNumber() : 0.0;
+        d.min = v.find("min") ? v.find("min")->asNumber() : 0.0;
+        d.max = v.find("max") ? v.find("max")->asNumber() : 0.0;
+        if (const obs::Json *buckets = v.find("buckets")) {
+            for (const obs::Json &pair : buckets->items()) {
+                if (pair.items().size() == 2)
+                    d.buckets.emplace_back(
+                        pair.items()[0].asNumber(),
+                        std::uint64_t(pair.items()[1].asNumber()));
+            }
+        }
+        out->histograms.emplace_back(name, std::move(d));
+    }
+    return true;
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    bool prom = false;
+    std::string file;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--prom") == 0)
+            prom = true;
+        else if (argv[i][0] != '-' && file.empty())
+            file = argv[i];
+        else
+            return usage();
+    }
+
+    obs::Snapshot snap;
+    if (file.empty()) {
+        snap = obs::Registry::global().snapshot();
+    } else {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "laser_trace: cannot read %s\n",
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        obs::Json doc;
+        std::string err;
+        if (!obs::Json::parse(ss.str(), &doc, &err)) {
+            std::fprintf(stderr, "laser_trace: %s: invalid JSON: %s\n",
+                         file.c_str(), err.c_str());
+            return 2;
+        }
+        // Accept either a bare snapshot or a BENCH_*.json wrapper.
+        const obs::Json *root =
+            doc.find("metrics") ? doc.find("metrics") : &doc;
+        if (!snapshotFromJson(*root, &snap)) {
+            std::fprintf(stderr,
+                         "laser_trace: %s is not a metrics snapshot\n",
+                         file.c_str());
+            return 2;
+        }
+    }
+
+    if (prom)
+        std::fputs(snap.toPrometheus().c_str(), stdout);
+    else
+        std::printf("%s\n", snap.toJson().dump(2).c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -571,15 +716,21 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    int rc = -1;
     if (cmd == "record")
-        return cmdRecord(argc, argv);
-    if (cmd == "info")
-        return cmdInfo(argc, argv);
-    if (cmd == "replay")
-        return cmdReplay(argc, argv);
-    if (cmd == "sweep")
-        return cmdSweep(argc, argv);
-    if (cmd == "cache")
-        return cmdCache(argc, argv);
-    return usage();
+        rc = cmdRecord(argc, argv);
+    else if (cmd == "info")
+        rc = cmdInfo(argc, argv);
+    else if (cmd == "replay")
+        rc = cmdReplay(argc, argv);
+    else if (cmd == "sweep")
+        rc = cmdSweep(argc, argv);
+    else if (cmd == "cache")
+        rc = cmdCache(argc, argv);
+    else if (cmd == "stats")
+        rc = cmdStats(argc, argv);
+    else
+        return usage();
+    obs::exportProcessMetrics("laser_trace_" + cmd);
+    return rc;
 }
