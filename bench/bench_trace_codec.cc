@@ -1,0 +1,320 @@
+/**
+ * @file
+ * LSRT v3 codec bench (ISSUE 7 acceptance): per-column encode/decode
+ * throughput for every block codec, v3-vs-v2 compression on the full
+ * workload corpus, and whole-trace vs windowed-seek replay latency.
+ *
+ * Acceptance:
+ *   - v3 encodes the corpus's record streams >= 1.3x smaller than the
+ *     v2 row-wise interleaved-delta format;
+ *   - replaying a 10% cycle window through the block index reads < 25%
+ *     of the payload bytes (measured via the trace.file.bytes_read
+ *     counter, so it reflects what the seek path actually touched).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "detect/pipeline.h"
+#include "obs/metrics.h"
+#include "trace/columnar.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+#include "trace/trace_file.h"
+
+using namespace laser;
+namespace col = trace::columnar;
+
+namespace {
+
+/** Process CPU time: immune to scheduler noise on shared CI runners. */
+double
+cpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+}
+
+/** One codec's measured throughput over one column. */
+struct CodecResult
+{
+    double encodeMBps = 0;
+    double decodeMBps = 0;
+    std::uint64_t encodedBytes = 0;
+};
+
+/**
+ * Time @p codec over @p vals in block-sized strides (the unit the real
+ * writer encodes), repeating until the loop runs long enough for
+ * CLOCK_PROCESS_CPUTIME_ID's granularity not to matter.
+ */
+CodecResult
+timeCodec(col::ColumnCodec codec, const std::vector<std::uint64_t> &vals)
+{
+    CodecResult result;
+    const double raw_mb = double(vals.size()) * 8.0 / 1e6;
+    const std::size_t stride = col::kDefaultBlockRecords;
+
+    std::vector<std::uint8_t> encoded;
+    int reps = 0;
+    double elapsed = 0;
+    while (elapsed < 0.05 || reps < 3) {
+        encoded.clear();
+        const double start = cpuSeconds();
+        for (std::size_t i = 0; i < vals.size(); i += stride) {
+            const std::vector<std::uint64_t> block(
+                vals.begin() + i,
+                vals.begin() + std::min(i + stride, vals.size()));
+            col::encodeColumn(codec, block, &encoded);
+        }
+        elapsed += cpuSeconds() - start;
+        ++reps;
+    }
+    result.encodedBytes = encoded.size();
+    result.encodeMBps = raw_mb * reps / elapsed;
+
+    // Decode from the per-block slices the encode produced.
+    std::vector<std::pair<std::size_t, std::size_t>> slices;
+    {
+        std::vector<std::uint8_t> probe;
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < vals.size(); i += stride) {
+            const std::vector<std::uint64_t> block(
+                vals.begin() + i,
+                vals.begin() + std::min(i + stride, vals.size()));
+            probe.clear();
+            col::encodeColumn(codec, block, &probe);
+            slices.emplace_back(off, probe.size());
+            off += probe.size();
+        }
+    }
+    std::vector<std::uint64_t> decoded;
+    reps = 0;
+    elapsed = 0;
+    while (elapsed < 0.05 || reps < 3) {
+        const double start = cpuSeconds();
+        std::size_t i = 0;
+        for (const auto &[off, size] : slices) {
+            const std::size_t count =
+                std::min(stride, vals.size() - i);
+            decoded.clear();
+            if (!col::decodeColumn(codec, encoded.data() + off, size,
+                                   count, &decoded)) {
+                std::fprintf(stderr, "codec %s failed to round-trip\n",
+                             col::codecName(codec));
+                std::exit(1);
+            }
+            i += count;
+        }
+        elapsed += cpuSeconds() - start;
+        ++reps;
+    }
+    result.decodeMBps = raw_mb * reps / elapsed;
+    return result;
+}
+
+/** Record-stream bytes of a trace under format @p version (3 = current):
+ *  full image minus the image of the same trace with no records, so the
+ *  fixed header/config/results overhead cancels out of the ratio. */
+std::uint64_t
+recordStreamBytes(const trace::Trace &t, std::uint32_t version)
+{
+    trace::Trace empty;
+    empty.meta = t.meta;
+    if (version < trace::kTraceVersion)
+        return trace::encodeLegacyTrace(t, version).size() -
+               trace::encodeLegacyTrace(empty, version).size();
+    trace::TraceWriter full(t.meta);
+    full.appendAll(t.records);
+    trace::TraceWriter none(t.meta);
+    return full.finalize().size() - none.finalize().size();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Trace codec throughput & seek efficiency",
+                  "the capture/replay substrate (Section 5)");
+    obs::BenchReport telemetry("trace_codec");
+
+    // ---- Corpus compression: v3 columnar vs v2 row-wise ----
+    core::SweepRunner runner(bench::sweepConfig());
+    std::shared_ptr<const trace::Trace> biggest;
+    std::uint64_t v2_bytes = 0, v3_bytes = 0;
+    std::size_t corpus = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        auto t = runner.capture(w, {});
+        if (t->records.empty())
+            continue;
+        ++corpus;
+        v2_bytes += recordStreamBytes(*t, 2);
+        v3_bytes += recordStreamBytes(*t, trace::kTraceVersion);
+        if (!biggest || t->records.size() > biggest->records.size())
+            biggest = t;
+    }
+    const double ratio =
+        v3_bytes > 0 ? double(v2_bytes) / double(v3_bytes) : 0.0;
+    const bool ratio_pass = ratio >= 1.3;
+    std::printf("corpus: %zu traces with records; v2 record streams "
+                "%s, v3 %s -> %s smaller (acceptance: >= 1.30x)\n\n",
+                corpus, humanBytes(v2_bytes).c_str(),
+                humanBytes(v3_bytes).c_str(), fmtTimes(ratio).c_str());
+
+    // ---- Per-column, per-codec throughput ----
+    // Tile the biggest capture so each column is a few hundred KB and
+    // per-block fixed costs stop dominating.
+    if (!biggest) {
+        std::fprintf(stderr, "no workload produced records\n");
+        return 1;
+    }
+    const std::uint64_t stride = biggest->records.back().cycle + 1;
+    const int copies = std::max<int>(
+        1, int(200000 / std::max<std::size_t>(
+                            1, biggest->records.size())));
+    trace::Trace big;
+    big.meta = biggest->meta;
+    big.records.reserve(biggest->records.size() * std::size_t(copies));
+    for (int c = 0; c < copies; ++c)
+        for (pebs::PebsRecord r : biggest->records) {
+            r.cycle += stride * std::uint64_t(c);
+            big.records.push_back(r);
+        }
+
+    std::vector<std::uint64_t> cols[col::kColumnCount];
+    for (const pebs::PebsRecord &r : big.records) {
+        cols[col::kColPc].push_back(r.pc);
+        cols[col::kColAddr].push_back(r.dataAddr);
+        cols[col::kColCore].push_back(
+            std::uint64_t(std::int64_t(r.core)));
+        cols[col::kColCycle].push_back(r.cycle);
+    }
+
+    TablePrinter table({"column", "codec", "encode MB/s", "decode MB/s",
+                        "ratio"});
+    obs::Json codec_json = obs::Json::object();
+    for (std::size_t c = 0; c < col::kColumnCount; ++c) {
+        obs::Json per_col = obs::Json::object();
+        for (std::uint8_t k = 0; k < col::kCodecCount; ++k) {
+            const auto codec = static_cast<col::ColumnCodec>(k);
+            const CodecResult r = timeCodec(codec, cols[c]);
+            const double cr =
+                r.encodedBytes > 0
+                    ? double(cols[c].size()) * 8.0 / double(r.encodedBytes)
+                    : 0.0;
+            table.addRow({col::columnName(c), col::codecName(codec),
+                          fmtDouble(r.encodeMBps, 1),
+                          fmtDouble(r.decodeMBps, 1), fmtTimes(cr)});
+            per_col.set(col::codecName(codec),
+                        obs::Json::object()
+                            .set("encode_mbps", obs::Json(r.encodeMBps))
+                            .set("decode_mbps", obs::Json(r.decodeMBps))
+                            .set("encoded_bytes",
+                                 obs::Json(r.encodedBytes)));
+        }
+        table.addSeparator();
+        codec_json.set(col::columnName(c), std::move(per_col));
+    }
+    std::printf("%zu records/column (%s raw per column, block size "
+                "%zu)\n",
+                big.records.size(),
+                humanBytes(big.records.size() * 8).c_str(),
+                col::kDefaultBlockRecords);
+    std::fputs(table.render().c_str(), stdout);
+
+    // ---- Whole-trace vs windowed-seek replay ----
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        "bench_trace_codec.ltrace";
+    if (trace::writeTraceFile(big, path.string()) !=
+            trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+        return 1;
+    }
+    trace::TraceFile file;
+    if (file.open(path.string()) != trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "cannot open %s: %s\n",
+                     path.string().c_str(), file.error().c_str());
+        return 1;
+    }
+    trace::TraceReplayer env(file.meta(), file);
+    if (!env.ok()) {
+        std::fprintf(stderr, "replay environment: %s\n",
+                     env.error().c_str());
+        return 1;
+    }
+    obs::Counter &bytes_read =
+        obs::Registry::global().counter("trace.file.bytes_read");
+
+    auto replay_window = [&](std::uint64_t begin, std::uint64_t end,
+                             std::uint64_t *bytes) {
+        detect::DetectorConfig cfg;
+        cfg.sav = file.meta().pebs.sav;
+        detect::DetectorPipeline pipeline(env.context(), cfg);
+        const std::uint64_t before = bytes_read.value();
+        const double start = cpuSeconds();
+        file.cursorForCycles(begin, end)->drain(pipeline);
+        pipeline.finish(file.meta().runtimeCycles);
+        const double elapsed = cpuSeconds() - start;
+        *bytes = bytes_read.value() - before;
+        return elapsed;
+    };
+
+    const std::uint64_t lo = file.index().blocks.front().firstCycle;
+    const std::uint64_t hi = file.index().blocks.back().lastCycle + 1;
+    const std::uint64_t span = hi - lo;
+    std::uint64_t full_bytes = 0, window_bytes = 0;
+    double full_s = 1e300, window_s = 1e300;
+    for (int i = 0; i < 5; ++i) {
+        full_s = std::min(full_s, replay_window(0, UINT64_MAX,
+                                                &full_bytes));
+        window_s = std::min(
+            window_s, replay_window(lo + span * 45 / 100,
+                                    lo + span * 55 / 100, &window_bytes));
+    }
+    const double window_fraction =
+        file.payloadBytes() > 0
+            ? double(window_bytes) / double(file.payloadBytes())
+            : 1.0;
+    const bool window_pass = window_fraction < 0.25;
+    std::printf("\nfull replay: %.2fms, %s read; 10%% cycle window: "
+                "%.2fms, %s read (%.1f%% of payload; acceptance: "
+                "< 25%%)\n",
+                1e3 * full_s, humanBytes(full_bytes).c_str(),
+                1e3 * window_s, humanBytes(window_bytes).c_str(),
+                1e2 * window_fraction);
+    std::printf("compression: %s (acceptance >= 1.30x); seek window: "
+                "%s\n",
+                ratio_pass ? "PASS" : "FAIL",
+                window_pass ? "PASS" : "FAIL");
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+
+    telemetry.results()
+        .set("corpus_traces", obs::Json(std::uint64_t(corpus)))
+        .set("v2_record_bytes", obs::Json(v2_bytes))
+        .set("v3_record_bytes", obs::Json(v3_bytes))
+        .set("compression_ratio", obs::Json(ratio))
+        .set("compression_acceptance", obs::Json(1.3))
+        .set("compression_pass", obs::Json(ratio_pass))
+        .set("codec_throughput", std::move(codec_json))
+        .set("records_per_column",
+             obs::Json(std::uint64_t(big.records.size())))
+        .set("full_replay_seconds", obs::Json(full_s))
+        .set("window_replay_seconds", obs::Json(window_s))
+        .set("window_cycle_fraction", obs::Json(0.10))
+        .set("window_payload_fraction", obs::Json(window_fraction))
+        .set("window_acceptance", obs::Json(0.25))
+        .set("window_pass", obs::Json(window_pass));
+    const core::SweepStats stats = runner.stats();
+    bench::writeTelemetry(telemetry, &stats);
+    return ratio_pass && window_pass ? 0 : 1;
+}

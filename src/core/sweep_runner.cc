@@ -83,6 +83,14 @@ struct SweepRunner::Entry
     std::shared_ptr<const trace::Trace> trace;
 };
 
+/** A cache slot of the seekable-file flavor (captureFile()). */
+struct SweepRunner::FileEntry
+{
+    std::once_flag once;
+    std::atomic<bool> ready{false};
+    std::shared_ptr<const trace::TraceFile> file;
+};
+
 SweepRunner::SweepRunner() : SweepRunner(Config{}) {}
 
 SweepRunner::SweepRunner(Config cfg)
@@ -148,6 +156,99 @@ SweepRunner::loadOrRun(std::uint64_t key,
         metrics.bytesWritten.inc(fileBytes(path));
     }
     return trace;
+}
+
+std::shared_ptr<const trace::TraceFile>
+SweepRunner::loadOrRunFile(std::uint64_t key,
+                           const workloads::WorkloadDef &workload,
+                           const trace::CaptureOptions &opt)
+{
+    SweepMetrics &metrics = SweepMetrics::get();
+    const std::string path = cachePath(key);
+    if (!path.empty()) {
+        LASER_SPAN("sweep.disk_open");
+        auto file = std::make_shared<trace::TraceFile>();
+        // Warm path: validates header + meta + index only; record
+        // blocks stay on disk until a replay cursor decodes them (the
+        // config-hash check is free — the hash sits in the header and
+        // open() verifies it against the config section).
+        if (file->open(path) == trace::TraceStatus::Ok &&
+                file->storedConfigHash() == key) {
+            std::error_code ec;
+            std::filesystem::last_write_time(
+                path, std::filesystem::file_time_type::clock::now(), ec);
+            metrics.diskHits.inc();
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.diskCacheHits;
+            return file;
+        }
+        // Missing, corrupt, stale or pre-v3 cache file: fall through
+        // and rerun (the fresh capture overwrites it).
+    }
+
+    trace::Trace captured;
+    const auto start = std::chrono::steady_clock::now();
+    {
+        LASER_SPAN("sweep.simulate");
+        captured = trace::captureTrace(workload, opt);
+    }
+    metrics.machineRuns.inc();
+    metrics.captureSeconds.record(secondsSince(start));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.machineRuns;
+    }
+    auto file = std::make_shared<trace::TraceFile>();
+    if (!path.empty() &&
+            trace::writeTraceFile(captured, path) ==
+                trace::TraceStatus::Ok) {
+        metrics.bytesWritten.inc(fileBytes(path));
+        if (file->open(path) == trace::TraceStatus::Ok)
+            return file;
+        // The file vanished or was clobbered between write and open
+        // (e.g. a concurrent gc); serve the in-memory image instead.
+    }
+    trace::TraceWriter writer(captured.meta);
+    writer.appendAll(captured.records);
+    if (file->openBytes(writer.finalize()) != trace::TraceStatus::Ok)
+        throw std::runtime_error(
+            "captureFile: freshly encoded trace failed to open: " +
+            file->error());
+    return file;
+}
+
+std::shared_ptr<const trace::TraceFile>
+SweepRunner::captureFile(const workloads::WorkloadDef &workload,
+                         const trace::CaptureOptions &opt)
+{
+    const std::uint64_t key =
+        trace::configHash(trace::makeCaptureMeta(workload, opt));
+
+    std::shared_ptr<FileEntry> entry;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_ptr<FileEntry> &slot = fileCache_[key];
+        if (!slot) {
+            slot = std::make_shared<FileEntry>();
+            created = true;
+        }
+        entry = slot;
+    }
+    if (!created) {
+        SweepMetrics &metrics = SweepMetrics::get();
+        metrics.memoryHits.inc();
+        if (!entry->ready.load(std::memory_order_acquire))
+            metrics.inflightDedup.inc();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.memoryCacheHits;
+    }
+
+    std::call_once(entry->once, [&] {
+        entry->file = loadOrRunFile(key, workload, opt);
+        entry->ready.store(true, std::memory_order_release);
+    });
+    return entry->file;
 }
 
 std::shared_ptr<const trace::Trace>
@@ -235,16 +336,18 @@ thresholdSweep(SweepRunner &runner,
     const SweepStats before = runner.stats();
 
     // Phase 1: one monitored simulation per workload (cache permitting),
-    // fanned across the pool, plus one replay environment each.
-    std::vector<std::shared_ptr<const trace::Trace>> traces(nw);
+    // fanned across the pool, plus one replay environment each. Traces
+    // are served as seekable files, never materialized: the digest
+    // phase streams them block-at-a-time through shard cursors.
+    std::vector<std::shared_ptr<const trace::TraceFile>> traces(nw);
     std::vector<std::unique_ptr<trace::TraceReplayer>> replayers(nw);
     const auto capture_start = std::chrono::steady_clock::now();
     {
         LASER_SPAN("sweep.phase.capture");
         runner.parallelFor(nw, [&](std::size_t i) {
-            traces[i] = runner.capture(*defs[i], opt);
-            replayers[i] =
-                std::make_unique<trace::TraceReplayer>(*traces[i]);
+            traces[i] = runner.captureFile(*defs[i], opt);
+            replayers[i] = std::make_unique<trace::TraceReplayer>(
+                traces[i]->meta(), *traces[i]);
             if (!replayers[i]->ok())
                 throw std::runtime_error("thresholdSweep: " +
                                          replayers[i]->error());

@@ -27,6 +27,7 @@
 #include "detect/detector.h"
 #include "trace/capture.h"
 #include "trace/trace.h"
+#include "trace/trace_file.h"
 #include "util/thread_pool.h"
 #include "workloads/workload.h"
 
@@ -79,12 +80,25 @@ class SweepRunner
 
     /**
      * Capture (or fetch from cache) the monitored run of @p workload
-     * under @p opt. Concurrent requests for the same configuration are
-     * coalesced into a single simulation.
+     * under @p opt, materialized. Concurrent requests for the same
+     * configuration are coalesced into a single simulation.
      */
     std::shared_ptr<const trace::Trace>
     capture(const workloads::WorkloadDef &workload,
             const trace::CaptureOptions &opt);
+
+    /**
+     * Like capture(), but returns the run as an open seekable
+     * trace::TraceFile instead of a materialized Trace: a disk cache
+     * hit validates only the header, meta sections and block index —
+     * record blocks stay encoded until replay cursors pull them — so
+     * serving a warm sweep costs O(meta + index) reads and replay
+     * memory stays O(block x shards). Without a cache directory the
+     * encoded image is held in memory and cursored the same way.
+     */
+    std::shared_ptr<const trace::TraceFile>
+    captureFile(const workloads::WorkloadDef &workload,
+                const trace::CaptureOptions &opt);
 
     /** Fan fn(0..n-1) across the worker pool (blocking). */
     void
@@ -105,15 +119,23 @@ class SweepRunner
 
   private:
     struct Entry;
+    struct FileEntry;
 
     std::shared_ptr<const trace::Trace>
     loadOrRun(std::uint64_t key, const workloads::WorkloadDef &workload,
               const trace::CaptureOptions &opt);
 
+    std::shared_ptr<const trace::TraceFile>
+    loadOrRunFile(std::uint64_t key,
+                  const workloads::WorkloadDef &workload,
+                  const trace::CaptureOptions &opt);
+
     Config cfg_;
     util::ThreadPool pool_;
     mutable std::mutex mu_;
     std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<FileEntry>>
+        fileCache_;
     SweepStats stats_;
 };
 

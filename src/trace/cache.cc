@@ -1,6 +1,7 @@
 #include "trace/cache.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 
@@ -10,34 +11,41 @@ namespace laser::trace {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/** The sweep cache's filename stem for a config hash. */
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, key);
+    return buf;
+}
+
+} // namespace
+
 TraceStatus
-readTraceHeader(const std::string &path, std::uint64_t *config_hash)
+readTraceHeader(const std::string &path, std::uint64_t *config_hash,
+                std::uint32_t *version)
 {
     *config_hash = 0;
+    if (version)
+        *version = 0;
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return TraceStatus::IoError;
-    std::uint8_t header[20]; // magic + version + endian + config hash
+    std::uint8_t header[kTraceHeaderSize];
     const std::size_t n = std::fread(header, 1, sizeof header, f);
     std::fclose(f);
-    if (n < sizeof header)
-        return TraceStatus::Truncated;
-    if (std::memcmp(header, kTraceMagic, 4) != 0)
-        return TraceStatus::BadMagic;
-    std::uint32_t version = 0;
-    for (int i = 0; i < 4; ++i)
-        version |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
-    if (version != kTraceVersion)
-        return TraceStatus::BadVersion;
-    std::uint32_t endian = 0;
-    for (int i = 0; i < 4; ++i)
-        endian |= static_cast<std::uint32_t>(header[8 + i]) << (8 * i);
-    if (endian != kTraceEndianMarker)
-        return TraceStatus::BadEndianness;
-    std::uint64_t hash = 0;
-    for (int i = 0; i < 8; ++i)
-        hash |= static_cast<std::uint64_t>(header[12 + i]) << (8 * i);
-    *config_hash = hash;
+    detail::HeaderInfo info;
+    std::string err;
+    const TraceStatus status =
+        detail::parseTraceHeader(header, n, &info, &err);
+    if (status != TraceStatus::Ok)
+        return status;
+    *config_hash = info.configHash;
+    if (version)
+        *version = info.version;
     return TraceStatus::Ok;
 }
 
@@ -47,15 +55,24 @@ listTraceCache(const std::string &dir)
     std::vector<CacheEntry> entries;
     std::error_code ec;
     for (const fs::directory_entry &de : fs::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file(ec))
+        std::error_code entry_ec;
+        if (!de.is_regular_file(entry_ec) || entry_ec)
             continue;
         if (de.path().extension() != kTraceExtension)
             continue;
         CacheEntry entry;
         entry.path = de.path().string();
-        entry.bytes = de.file_size(ec);
-        entry.mtime = de.last_write_time(ec);
-        entry.status = readTraceHeader(entry.path, &entry.configHash);
+        // A concurrent gc may delete the file between iteration and
+        // stat; skip vanished entries rather than record garbage sizes
+        // (file_size reports uintmax_t(-1) on error).
+        entry.bytes = de.file_size(entry_ec);
+        if (entry_ec)
+            continue;
+        entry.mtime = de.last_write_time(entry_ec);
+        if (entry_ec)
+            continue;
+        entry.status =
+            readTraceHeader(entry.path, &entry.configHash, &entry.version);
         entries.push_back(std::move(entry));
     }
     std::sort(entries.begin(), entries.end(),
@@ -68,10 +85,10 @@ listTraceCache(const std::string &dir)
 }
 
 CacheGcResult
-gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
+gcTraceCacheFrom(const std::vector<CacheEntry> &entries,
+                 std::uint64_t max_bytes)
 {
     CacheGcResult result;
-    const std::vector<CacheEntry> entries = listTraceCache(dir);
     result.scanned = entries.size();
     for (const CacheEntry &entry : entries)
         result.bytesBefore += entry.bytes;
@@ -87,11 +104,113 @@ gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
         if (result.bytesAfter <= max_bytes)
             break;
         std::error_code ec;
+        // Disk-hit race: a sweep refreshes mtime on every cache hit. If
+        // this entry's mtime moved since the listing, it was just used
+        // and is no longer the LRU victim the listing claimed — spare
+        // it and keep its bytes on the books.
+        const fs::file_time_type now_mtime =
+            fs::last_write_time(entry.path, ec);
+        if (ec) {
+            // Already gone (concurrent gc or cache wipe): its bytes no
+            // longer occupy the directory, but nothing was evicted here.
+            ++result.vanished;
+            result.bytesAfter -= entry.bytes;
+            continue;
+        }
+        if (now_mtime != entry.mtime) {
+            ++result.spared;
+            continue;
+        }
         if (fs::remove(entry.path, ec) && !ec) {
             ++result.evicted;
             result.bytesAfter -= entry.bytes;
             evictions.inc();
             evicted_bytes.inc(entry.bytes);
+        } else if (!fs::exists(entry.path)) {
+            // Removed by someone else between the mtime check and ours.
+            ++result.vanished;
+            result.bytesAfter -= entry.bytes;
+        }
+    }
+    return result;
+}
+
+CacheGcResult
+gcTraceCache(const std::string &dir, std::uint64_t max_bytes)
+{
+    return gcTraceCacheFrom(listTraceCache(dir), max_bytes);
+}
+
+MigrateFileResult
+migrateTraceFile(const std::string &path)
+{
+    MigrateFileResult result;
+    result.newPath = path;
+
+    TraceReader reader;
+    result.status = reader.readFile(path);
+    if (result.status != TraceStatus::Ok) {
+        result.error = reader.error();
+        return result;
+    }
+    const std::uint32_t old_version = reader.version();
+    if (old_version == kTraceVersion)
+        return result; // already current
+
+    const Trace trace = reader.takeTrace();
+    const std::uint64_t old_hash =
+        configHashForVersion(trace.meta, old_version);
+    const std::uint64_t new_hash = configHash(trace.meta);
+
+    // Sweep-cache files are named by their (version-scoped) config
+    // hash; re-key those so a post-migration sweep finds them. Anything
+    // else is rewritten under its own name.
+    const fs::path old_path(path);
+    std::string target = path;
+    if (old_path.stem().string() == hexKey(old_hash))
+        target = (old_path.parent_path() /
+                  (hexKey(new_hash) + kTraceExtension))
+                     .string();
+
+    result.status = writeTraceFile(trace, target);
+    if (result.status != TraceStatus::Ok) {
+        result.error = "cannot write " + target;
+        return result;
+    }
+    if (target != path) {
+        std::error_code ec;
+        fs::remove(path, ec); // best-effort; stale v1/v2 keys are inert
+    }
+    result.upgraded = true;
+    result.newPath = target;
+    return result;
+}
+
+CacheMigrateResult
+migrateTraceCache(const std::string &dir)
+{
+    CacheMigrateResult result;
+    for (const CacheEntry &entry : listTraceCache(dir)) {
+        ++result.scanned;
+        result.bytesBefore += entry.bytes;
+        if (entry.status == TraceStatus::Ok &&
+                entry.version == kTraceVersion) {
+            ++result.alreadyCurrent;
+            result.bytesAfter += entry.bytes;
+            continue;
+        }
+        const MigrateFileResult file = migrateTraceFile(entry.path);
+        if (file.status == TraceStatus::Ok && file.upgraded) {
+            ++result.upgraded;
+            std::error_code ec;
+            const std::uintmax_t n = fs::file_size(file.newPath, ec);
+            result.bytesAfter += ec ? 0 : static_cast<std::uint64_t>(n);
+        } else if (file.status == TraceStatus::Ok) {
+            ++result.alreadyCurrent;
+            result.bytesAfter += entry.bytes;
+        } else {
+            ++result.failed;
+            result.bytesAfter += entry.bytes;
         }
     }
     return result;

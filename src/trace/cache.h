@@ -1,7 +1,7 @@
 /**
  * @file
- * Trace-cache maintenance: inventory and size budgeting for long-lived
- * cache directories.
+ * Trace-cache maintenance: inventory, size budgeting and format
+ * migration for long-lived cache directories.
  *
  * A sweep cache grows without bound as configurations churn (every
  * config-hash key is a new <hash>.ltrace file), so production cache
@@ -12,7 +12,16 @@
  *
  * Listing reads only each file's fixed-size header (magic, version,
  * config hash) — no payload decode — so inventorying a multi-gigabyte
- * cache stays cheap.
+ * cache stays cheap. Old format versions are valid inventory (they
+ * predate a kTraceVersion bump); migrateTraceCache() upgrades them to
+ * the current format and re-keys them to their new config hash.
+ *
+ * Gc runs concurrently with sweeps using the same directory, so every
+ * step tolerates the races that implies: files may vanish between
+ * listing and deletion (another gc, or a cache wipe), and a file's
+ * mtime may be refreshed by a disk hit after this gc listed it —
+ * deletion re-checks the mtime and spares the entry, so a
+ * just-used trace is never evicted on stale listing data.
  */
 
 #ifndef LASER_TRACE_CACHE_H
@@ -35,6 +44,8 @@ struct CacheEntry
     std::filesystem::file_time_type mtime{};
     /** Config hash from the header (0 when the header is unreadable). */
     std::uint64_t configHash = 0;
+    /** Format version from the header (0 when unreadable). */
+    std::uint32_t version = 0;
     /** Header status: Ok means magic/version/endianness check out. */
     TraceStatus status = TraceStatus::Ok;
 };
@@ -42,14 +53,19 @@ struct CacheEntry
 /**
  * Read just the header of @p path: magic, version, endianness and the
  * stored config hash. Returns the same typed statuses as a full parse
- * would for those fields.
+ * would for those fields; every supported version (kTraceMinVersion..
+ * kTraceVersion) is Ok, with the version reported through @p version
+ * when non-null.
  */
 TraceStatus readTraceHeader(const std::string &path,
-                            std::uint64_t *config_hash);
+                            std::uint64_t *config_hash,
+                            std::uint32_t *version = nullptr);
 
 /**
  * Inventory @p dir's trace files (*.ltrace), oldest mtime first —
- * i.e. first-to-evict first. Missing directories yield an empty list.
+ * i.e. first-to-evict first. Missing directories yield an empty list;
+ * files that vanish mid-listing (concurrent gc) are skipped rather
+ * than reported with garbage sizes.
  */
 std::vector<CacheEntry> listTraceCache(const std::string &dir);
 
@@ -58,6 +74,11 @@ struct CacheGcResult
 {
     std::size_t scanned = 0;
     std::size_t evicted = 0;
+    /** Entries skipped because their mtime changed after listing (a
+     *  concurrent disk hit marked them recently-used). */
+    std::size_t spared = 0;
+    /** Entries already gone by deletion time (concurrent gc/wipe). */
+    std::size_t vanished = 0;
     std::uint64_t bytesBefore = 0;
     std::uint64_t bytesAfter = 0;
 };
@@ -67,10 +88,58 @@ struct CacheGcResult
  * *.ltrace bytes fit @p max_bytes. Files that fail to delete are kept
  * and counted in bytesAfter (a concurrent sweep may hold them open on
  * some platforms; eviction is best-effort, correctness never depends on
- * it — a missing cache entry is just a re-simulation).
+ * it — a missing cache entry is just a re-simulation). An entry whose
+ * mtime moved forward since the listing was taken is spared: a
+ * concurrent disk hit just used it, so it is no longer the LRU victim
+ * the listing claimed.
  */
 CacheGcResult gcTraceCache(const std::string &dir,
                            std::uint64_t max_bytes);
+
+/**
+ * The gc pass over a caller-supplied listing (gcTraceCache() is this
+ * over listTraceCache(dir)). Exposed so the listing-vs-deletion race
+ * window can be exercised deterministically in tests: mutate the
+ * directory after building @p entries, then run the pass.
+ */
+CacheGcResult gcTraceCacheFrom(const std::vector<CacheEntry> &entries,
+                               std::uint64_t max_bytes);
+
+/** Outcome of migrating one trace file to the current format. */
+struct MigrateFileResult
+{
+    TraceStatus status = TraceStatus::Ok;
+    /** True when the file was rewritten (false: already current). */
+    bool upgraded = false;
+    /** Where the trace lives now (re-keyed files move; see below). */
+    std::string newPath;
+    std::string error;
+};
+
+/**
+ * Upgrade @p path to kTraceVersion in place. Already-current files are
+ * left untouched. Because the config hash is version-scoped, upgrading
+ * re-keys the trace: when the filename is the old hash's hex key (the
+ * sweep-cache naming scheme), the upgraded file is written under the
+ * new hash's key and the old file is removed; any other filename is
+ * rewritten in place. The write is atomic (temp + rename), so a crash
+ * mid-migration leaves the original readable.
+ */
+MigrateFileResult migrateTraceFile(const std::string &path);
+
+/** Outcome of one cache-wide migration pass. */
+struct CacheMigrateResult
+{
+    std::size_t scanned = 0;
+    std::size_t upgraded = 0;
+    std::size_t alreadyCurrent = 0;
+    std::size_t failed = 0;
+    std::uint64_t bytesBefore = 0;
+    std::uint64_t bytesAfter = 0;
+};
+
+/** migrateTraceFile() over every *.ltrace in @p dir. */
+CacheMigrateResult migrateTraceCache(const std::string &dir);
 
 } // namespace laser::trace
 

@@ -48,45 +48,39 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env)
 ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
     : env_(&env)
 {
-    const Trace &trace = env.trace();
-
-    // Stored streams are canonical; hand-built in-memory traces get the
-    // same stable cycle sort every other driver applies.
-    const std::vector<pebs::PebsRecord> *records = &trace.records;
-    std::vector<pebs::PebsRecord> sorted;
-    if (!std::is_sorted(records->begin(), records->end(),
-                        [](const pebs::PebsRecord &a,
-                           const pebs::PebsRecord &b) {
-                            return a.cycle < b.cycle;
-                        })) {
-        sorted = trace.records;
-        analysis::sortByCycle(&sorted);
-        records = &sorted;
-    }
-
-    const std::size_t n = records->size();
+    // The replayer's source is already canonical (the Trace ctor sorts
+    // hand-built streams; file sources are canonical by construction).
+    const std::uint64_t n = env.source().recordCount();
     shards_ = std::max(1, opt.shards);
-    if (n > 0 && static_cast<std::size_t>(shards_) > n)
+    if (n > 0 && static_cast<std::uint64_t>(shards_) > n)
         shards_ = static_cast<int>(n);
 
-    // Digest each contiguous time window independently. Shard pipelines
-    // share the replayer's immutable context; each owns only its state.
+    // Digest each contiguous time window independently through its own
+    // cursor, so a file-backed replay holds one decoded block per shard
+    // rather than the materialized trace. Shard pipelines share the
+    // replayer's immutable context; each owns only its state.
     ReplayMetrics &metrics = ReplayMetrics::get();
     metrics.digests.inc();
     std::vector<detect::DetectorState> states(shards_);
     std::vector<double> shard_seconds(
         static_cast<std::size_t>(shards_), 0.0);
+    std::vector<TraceStatus> shard_status(
+        static_cast<std::size_t>(shards_), TraceStatus::Ok);
     const auto digest_shard = [&](std::size_t s) {
         LASER_SPAN("replay.shard");
         const auto start = std::chrono::steady_clock::now();
-        const std::size_t begin = n * s / shards_;
-        const std::size_t end = n * (s + 1) / shards_;
+        // Index-based split: the same records land in the same shards
+        // as a materialized split would, preserving bit-identity.
+        const std::uint64_t begin = n * s / shards_;
+        const std::uint64_t end = n * (s + 1) / shards_;
         detect::DetectorPipeline pipeline(
             env.context(), {}, detect::DetectorPipeline::Mode::Shard);
-        for (std::size_t i = begin; i < end; ++i)
-            pipeline.onRecord((*records)[i]);
+        const std::unique_ptr<RecordCursor> cur =
+            env.source().cursorForRecords(begin, end);
+        const std::uint64_t digested = cur->drain(pipeline);
+        shard_status[s] = cur->status();
         states[s] = pipeline.takeState();
-        metrics.recordsDigested.inc(end - begin);
+        metrics.recordsDigested.inc(digested);
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
@@ -104,6 +98,13 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
     } else {
         digest_shard(0);
     }
+    for (int s = 0; s < shards_; ++s)
+        if (shard_status[static_cast<std::size_t>(s)] != TraceStatus::Ok)
+            throw std::runtime_error(
+                std::string("sharded replay: shard ") +
+                std::to_string(s) + " record stream failed: " +
+                traceStatusName(
+                    shard_status[static_cast<std::size_t>(s)]));
     // Shard skew — slowest minus fastest window — is the load-balance
     // signal for choosing shard counts (a time-skewed trace digests no
     // faster than its hottest window).
@@ -136,7 +137,7 @@ ParallelReplayer::replay(const detect::DetectorConfig &cfg) const
     const detect::RateScanState scan =
         detect::scanRateEvents(merged_.rateEvents, cfg);
     return detect::buildReport(env_->context(), cfg, merged_, scan,
-                               env_->trace().meta.runtimeCycles);
+                               env_->meta().runtimeCycles);
 }
 
 ShardedReplayCheck
@@ -166,7 +167,7 @@ checkShardedReplay(const TraceReplayer &env,
     for (std::size_t i = 0; i < thresholds.size(); ++i) {
         detect::DetectorConfig cfg;
         cfg.rateThreshold = thresholds[i];
-        cfg.sav = env.trace().meta.pebs.sav;
+        cfg.sav = env.meta().pebs.sav;
         if (check.identical &&
                 !detect::reportsIdentical(check.serialReports[i],
                                           parallel.replay(cfg))) {

@@ -5,6 +5,14 @@
  * DetectorPipeline on a thread pool, merge the shard states in window
  * order, and build the report once.
  *
+ * Each shard pulls its window through its own RecordCursor, so a
+ * file-backed replay (TraceReplayer over a trace::TraceFile) holds one
+ * decoded columnar block per shard — O(block x shards) record memory —
+ * instead of the materialized trace. The split is by record index
+ * (computed from the source's record count), so exactly the same
+ * records land in the same shards as a materialized split would and
+ * the serial-identity invariant is unaffected by the streaming.
+ *
  * The merged DetectionReport is — by construction, and enforced by
  * tests over every registered workload — identical to the serial
  * replay's: per-line cache-line state is reconciled across shard

@@ -1,33 +1,80 @@
 #include "trace/replay.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace laser::trace {
 
-TraceReplayer::TraceReplayer(const Trace &trace) : trace_(&trace)
+TraceReplayer::TraceReplayer(const Trace &trace)
+    : trace_(&trace), meta_(&trace.meta)
+{
+    // Stored streams are canonical (cycle-ordered; the reader rejects
+    // anything else), but hand-built in-memory traces may not be — give
+    // them the same stable cycle sort every other driver applies.
+    if (std::is_sorted(trace.records.begin(), trace.records.end(),
+                       [](const pebs::PebsRecord &a,
+                          const pebs::PebsRecord &b) {
+                           return a.cycle < b.cycle;
+                       })) {
+        ownedSource_ = std::make_unique<MemoryRecordSource>(trace.records);
+    } else {
+        ownedSorted_ = trace.records;
+        analysis::sortByCycle(&ownedSorted_);
+        ownedSource_ = std::make_unique<MemoryRecordSource>(ownedSorted_);
+    }
+    source_ = ownedSource_.get();
+    buildEnvironment();
+}
+
+TraceReplayer::TraceReplayer(const TraceMeta &meta,
+                             const RecordSource &source)
+    : meta_(&meta), source_(&source)
+{
+    buildEnvironment();
+}
+
+void
+TraceReplayer::buildEnvironment()
 {
     const workloads::WorkloadDef *def =
-        workloads::findWorkload(trace.meta.workload);
+        workloads::findWorkload(meta_->workload);
     if (!def) {
-        error_ = "unknown workload \"" + trace.meta.workload + "\"";
+        error_ = "unknown workload \"" + meta_->workload + "\"";
         return;
     }
-    workloads::WorkloadBuild build = def->build(trace.meta.build);
+    workloads::WorkloadBuild build = def->build(meta_->build);
     program_ = std::move(build.program);
-    space_ = std::make_unique<mem::AddressSpace>(
-        program_, trace.meta.machine.numCores);
+    space_ = std::make_unique<mem::AddressSpace>(program_,
+                                                 meta_->machine.numCores);
     ctx_ = std::make_unique<detect::DetectorContext>(
-        program_, *space_, trace.meta.mapsText,
-        trace.meta.machine.timing);
+        program_, *space_, meta_->mapsText, meta_->machine.timing);
 }
 
 void
 TraceReplayer::drive(analysis::RecordSink &sink) const
 {
-    // Stored streams are canonical (cycle-ordered; the reader rejects
-    // anything else), but hand-built in-memory traces may not be — the
-    // stable sort is a no-op on conforming input.
-    analysis::drainSorted(trace_->records, sink);
+    const std::unique_ptr<RecordCursor> cur = source_->cursor();
+    cur->drain(sink);
+    if (cur->status() != TraceStatus::Ok)
+        throw std::runtime_error(
+            std::string("trace replay: record stream failed: ") +
+            traceStatusName(cur->status()));
+}
+
+std::vector<pebs::PebsRecord>
+TraceReplayer::materializeRecords() const
+{
+    std::vector<pebs::PebsRecord> records;
+    records.reserve(static_cast<std::size_t>(source_->recordCount()));
+    const std::unique_ptr<RecordCursor> cur = source_->cursor();
+    pebs::PebsRecord rec;
+    while (cur->next(&rec))
+        records.push_back(rec);
+    if (cur->status() != TraceStatus::Ok)
+        throw std::runtime_error(
+            std::string("trace replay: record stream failed: ") +
+            traceStatusName(cur->status()));
+    return records;
 }
 
 detect::DetectionReport
@@ -35,7 +82,7 @@ TraceReplayer::replay(const detect::DetectorConfig &cfg) const
 {
     detect::DetectorPipeline pipeline(*ctx_, cfg);
     drive(pipeline);
-    return pipeline.finish(trace_->meta.runtimeCycles);
+    return pipeline.finish(meta_->runtimeCycles);
 }
 
 detect::DetectionReport
@@ -43,7 +90,7 @@ TraceReplayer::replayAtThreshold(double rate_threshold) const
 {
     detect::DetectorConfig cfg;
     cfg.rateThreshold = rate_threshold;
-    cfg.sav = trace_->meta.pebs.sav;
+    cfg.sav = meta_->pebs.sav;
     return replay(cfg);
 }
 
@@ -51,24 +98,34 @@ baselines::VTuneReport
 TraceReplayer::replayVTune(const baselines::VTuneConfig &cfg) const
 {
     // The interrupt-per-event stream records every HITM (SAV 1), so the
-    // stream length is the event count.
-    return baselines::aggregateVTune(program_, *space_, trace_->records,
-                                     trace_->records.size(),
-                                     trace_->meta.runtimeCycles, cfg);
+    // stream length is the event count. The baseline aggregators take a
+    // vector; file-backed streams materialize here (these streams are a
+    // small fraction of a detection stream's length).
+    if (trace_)
+        return baselines::aggregateVTune(program_, *space_,
+                                         trace_->records,
+                                         trace_->records.size(),
+                                         meta_->runtimeCycles, cfg);
+    const std::vector<pebs::PebsRecord> records = materializeRecords();
+    return baselines::aggregateVTune(program_, *space_, records,
+                                     records.size(), meta_->runtimeCycles,
+                                     cfg);
 }
 
 baselines::VTuneReport
 TraceReplayer::replayVTune() const
 {
-    return replayVTune(trace_->meta.vtune);
+    return replayVTune(meta_->vtune);
 }
 
 SheriffReplay
-TraceReplayer::replaySheriff(const baselines::SheriffConfig &cfg) const
+TraceReplayer::replaySheriffOver(
+    const std::vector<pebs::PebsRecord> &records,
+    const baselines::SheriffConfig &cfg) const
 {
     SheriffReplay out;
-    out.report = baselines::replaySheriffStream(trace_->records, cfg);
-    const baselines::SheriffConfig &cap = trace_->meta.sheriff;
+    out.report = baselines::replaySheriffStream(records, cfg);
+    const baselines::SheriffConfig &cap = meta_->sheriff;
     const bool same_costs = cfg.syncBaseCost == cap.syncBaseCost &&
                             cfg.perDirtyPageCost == cap.perDirtyPageCost &&
                             cfg.detectExtraCost == cap.detectExtraCost &&
@@ -76,27 +133,33 @@ TraceReplayer::replaySheriff(const baselines::SheriffConfig &cfg) const
     out.capturedChargedCycles =
         same_costs
             ? out.report.chargedCycles
-            : baselines::replaySheriffStream(trace_->records, cap)
-                  .chargedCycles;
+            : baselines::replaySheriffStream(records, cap).chargedCycles;
     // Commit costs are charged per core but the captured runtime is
     // wall-clock; assume the charge spreads evenly across cores, so the
     // wall-clock contribution is chargedCycles / numCores. Exact when
     // the replayed config equals the capture's (the deltas cancel).
-    const int cores = std::max(1, trace_->meta.machine.numCores);
+    const int cores = std::max(1, meta_->machine.numCores);
     const std::uint64_t captured_wall = out.capturedChargedCycles / cores;
     const std::uint64_t replayed_wall = out.report.chargedCycles / cores;
-    const std::uint64_t base =
-        trace_->meta.runtimeCycles > captured_wall
-            ? trace_->meta.runtimeCycles - captured_wall
-            : 0;
+    const std::uint64_t base = meta_->runtimeCycles > captured_wall
+                                   ? meta_->runtimeCycles - captured_wall
+                                   : 0;
     out.estimatedRuntimeCycles = base + replayed_wall;
     return out;
 }
 
 SheriffReplay
+TraceReplayer::replaySheriff(const baselines::SheriffConfig &cfg) const
+{
+    if (trace_)
+        return replaySheriffOver(trace_->records, cfg);
+    return replaySheriffOver(materializeRecords(), cfg);
+}
+
+SheriffReplay
 TraceReplayer::replaySheriff() const
 {
-    return replaySheriff(trace_->meta.sheriff);
+    return replaySheriff(meta_->sheriff);
 }
 
 } // namespace laser::trace

@@ -1,0 +1,120 @@
+#include "trace/source.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace laser::trace {
+
+namespace {
+
+std::atomic<std::size_t> g_bufferedLive{0};
+std::atomic<std::size_t> g_bufferedPeak{0};
+
+/** Cursor over a slice of a materialized record vector. */
+class MemoryCursor : public RecordCursor
+{
+  public:
+    MemoryCursor(const pebs::PebsRecord *begin, const pebs::PebsRecord *end)
+        : p_(begin), end_(end)
+    {
+    }
+
+    bool
+    next(pebs::PebsRecord *rec) override
+    {
+        if (p_ >= end_)
+            return false;
+        *rec = *p_++;
+        return true;
+    }
+
+  private:
+    const pebs::PebsRecord *p_;
+    const pebs::PebsRecord *end_;
+};
+
+} // namespace
+
+std::size_t
+bufferedRecordsLive()
+{
+    return g_bufferedLive.load(std::memory_order_relaxed);
+}
+
+std::size_t
+bufferedRecordsPeak()
+{
+    return g_bufferedPeak.load(std::memory_order_relaxed);
+}
+
+void
+resetBufferedRecordsPeak()
+{
+    g_bufferedPeak.store(g_bufferedLive.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+addBufferedRecords(std::size_t n)
+{
+    const std::size_t live =
+        g_bufferedLive.fetch_add(n, std::memory_order_relaxed) + n;
+    std::size_t peak = g_bufferedPeak.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_bufferedPeak.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed)) {
+    }
+}
+
+void
+subBufferedRecords(std::size_t n)
+{
+    g_bufferedLive.fetch_sub(n, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+std::uint64_t
+RecordCursor::drain(analysis::RecordSink &sink)
+{
+    std::uint64_t n = 0;
+    pebs::PebsRecord rec;
+    while (next(&rec)) {
+        sink.onRecord(rec);
+        ++n;
+    }
+    return n;
+}
+
+std::unique_ptr<RecordCursor>
+MemoryRecordSource::cursorForRecords(std::uint64_t first,
+                                     std::uint64_t end) const
+{
+    const std::uint64_t n = records_->size();
+    first = std::min(first, n);
+    end = std::clamp(end, first, n);
+    return std::make_unique<MemoryCursor>(records_->data() + first,
+                                          records_->data() + end);
+}
+
+std::unique_ptr<RecordCursor>
+MemoryRecordSource::cursorForCycles(std::uint64_t begin,
+                                    std::uint64_t end) const
+{
+    const auto cycle_less = [](const pebs::PebsRecord &rec,
+                               std::uint64_t cycle) {
+        return rec.cycle < cycle;
+    };
+    const pebs::PebsRecord *lo =
+        begin == 0 ? records_->data()
+                   : std::lower_bound(records_->data(),
+                                      records_->data() + records_->size(),
+                                      begin, cycle_less);
+    const pebs::PebsRecord *hi = std::lower_bound(
+        lo, records_->data() + records_->size(), end, cycle_less);
+    return std::make_unique<MemoryCursor>(lo, hi);
+}
+
+} // namespace laser::trace

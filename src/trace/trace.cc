@@ -1,201 +1,21 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 
 #include <unistd.h>
 
+#include "trace/wire.h"
+
 namespace laser::trace {
 
 namespace {
 
-constexpr std::size_t kHeaderSize = 28; // magic + version + endian + hash + payload size
-constexpr std::size_t kTrailerSize = 8; // payload checksum
-
-std::uint64_t
-fnv1a(const std::uint8_t *data, std::size_t size,
-      std::uint64_t h = 1469598103934665603ull)
-{
-    for (std::size_t i = 0; i < size; ++i) {
-        h ^= data[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-std::uint64_t
-zigzagEncode(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t
-zigzagDecode(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1) ^
-           -static_cast<std::int64_t>(v & 1);
-}
-
-/** Append-only little-endian/varint encoder over a caller's buffer. */
-struct ByteWriter
-{
-    std::vector<std::uint8_t> &buf;
-
-    explicit ByteWriter(std::vector<std::uint8_t> &b) : buf(b) {}
-
-    void u8(std::uint8_t v) { buf.push_back(v); }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    var(std::uint64_t v)
-    {
-        while (v >= 0x80) {
-            buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
-            v >>= 7;
-        }
-        buf.push_back(static_cast<std::uint8_t>(v));
-    }
-
-    void zig(std::int64_t v) { var(zigzagEncode(v)); }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-
-    void boolean(bool v) { u8(v ? 1 : 0); }
-
-    void
-    str(const std::string &s)
-    {
-        var(s.size());
-        buf.insert(buf.end(), s.begin(), s.end());
-    }
-};
-
-/** Bounds-checked decoder: any overrun latches ok=false, reads yield 0. */
-struct ByteReader
-{
-    const std::uint8_t *p;
-    const std::uint8_t *end;
-    bool ok = true;
-
-    ByteReader(const std::uint8_t *data, std::size_t size)
-        : p(data), end(data + size)
-    {
-    }
-
-    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
-
-    std::uint8_t
-    u8()
-    {
-        if (p >= end) {
-            ok = false;
-            return 0;
-        }
-        return *p++;
-    }
-
-    std::uint32_t
-    u32()
-    {
-        std::uint32_t v = 0;
-        if (remaining() < 4) {
-            ok = false;
-            p = end;
-            return 0;
-        }
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(*p++) << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        std::uint64_t v = 0;
-        if (remaining() < 8) {
-            ok = false;
-            p = end;
-            return 0;
-        }
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(*p++) << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    var()
-    {
-        std::uint64_t v = 0;
-        for (int shift = 0; shift < 64; shift += 7) {
-            if (p >= end) {
-                ok = false;
-                return 0;
-            }
-            const std::uint8_t byte = *p++;
-            // Reject the tenth byte carrying bits beyond the 64th, and
-            // non-canonical zero continuation bytes: both would parse
-            // "Ok" into a value that re-encodes to different bytes.
-            if ((shift == 63 && (byte & 0xfe)) ||
-                    (byte == 0 && shift > 0)) {
-                ok = false;
-                return 0;
-            }
-            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if (!(byte & 0x80))
-                return v;
-        }
-        ok = false; // > 10 bytes: malformed varint
-        return 0;
-    }
-
-    std::int64_t zig() { return zigzagDecode(var()); }
-
-    double
-    f64()
-    {
-        const std::uint64_t bits = u64();
-        double v;
-        std::memcpy(&v, &bits, sizeof v);
-        return v;
-    }
-
-    bool boolean() { return u8() != 0; }
-
-    std::string
-    str()
-    {
-        const std::uint64_t n = var();
-        if (!ok || n > remaining()) {
-            ok = false;
-            return {};
-        }
-        std::string s(reinterpret_cast<const char *>(p),
-                      static_cast<std::size_t>(n));
-        p += n;
-        return s;
-    }
-};
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::fnv1a;
 
 void
 putTiming(ByteWriter &w, const sim::TimingModel &t)
@@ -250,9 +70,10 @@ getTiming(ByteReader &r, sim::TimingModel *t)
 }
 
 /** The hashed config section: workload identity + every knob that can
- *  change the record stream or the modeled runtime. */
+ *  change the record stream or the modeled runtime. Version-dependent:
+ *  the VTune/Sheriff blocks joined the section in v2. */
 void
-putConfig(ByteWriter &w, const TraceMeta &m)
+putConfig(ByteWriter &w, const TraceMeta &m, std::uint32_t version)
 {
     w.str(m.workload);
     w.str(m.scheme);
@@ -292,6 +113,9 @@ putConfig(ByteWriter &w, const TraceMeta &m)
     w.f64(p.wrongAddrUnmapped);
     w.f64(p.wrongPcInBinary);
 
+    if (version < 2)
+        return;
+
     const baselines::VTuneConfig &v = m.vtune;
     w.f64(v.rateThreshold);
     w.var(v.eventCost);
@@ -310,7 +134,8 @@ putConfig(ByteWriter &w, const TraceMeta &m)
 }
 
 bool
-getConfig(ByteReader &r, TraceMeta *m, std::string *err)
+getConfig(ByteReader &r, TraceMeta *m, std::uint32_t version,
+          std::string *err)
 {
     m->workload = r.str();
     m->scheme = r.str();
@@ -354,6 +179,9 @@ getConfig(ByteReader &r, TraceMeta *m, std::string *err)
     p.storePcAdjacent = r.f64();
     p.wrongAddrUnmapped = r.f64();
     p.wrongPcInBinary = r.f64();
+
+    if (version < 2)
+        return true; // v1 predates the baseline-config blocks
 
     baselines::VTuneConfig &v = m->vtune;
     v.rateThreshold = r.f64();
@@ -459,6 +287,7 @@ getResults(ByteReader &r, TraceMeta *m)
     m->mapsText = r.str();
 }
 
+/** The v1/v2 row-wise record encoding (kept for encodeLegacyTrace). */
 void
 putRecordDelta(ByteWriter &w, const pebs::PebsRecord &rec,
                const pebs::PebsRecord &prev)
@@ -467,6 +296,49 @@ putRecordDelta(ByteWriter &w, const pebs::PebsRecord &rec,
     w.zig(static_cast<std::int64_t>(rec.dataAddr - prev.dataAddr));
     w.var(static_cast<std::uint64_t>(rec.core));
     w.zig(static_cast<std::int64_t>(rec.cycle - prev.cycle));
+}
+
+/** Wrap a payload image in header + trailer for @p version. */
+std::vector<std::uint8_t>
+wrapPayload(const std::vector<std::uint8_t> &payload_bytes,
+            std::uint32_t version, std::uint64_t config_hash)
+{
+    std::vector<std::uint8_t> out_bytes;
+    ByteWriter out(out_bytes);
+    out_bytes.reserve(kTraceHeaderSize + payload_bytes.size() +
+                      kTraceTrailerSize);
+    out_bytes.insert(out_bytes.end(), kTraceMagic, kTraceMagic + 4);
+    out.u32(version);
+    out.u32(kTraceEndianMarker);
+    out.u64(config_hash);
+    out.u64(payload_bytes.size());
+    out_bytes.insert(out_bytes.end(), payload_bytes.begin(),
+                     payload_bytes.end());
+    out.u64(fnv1a(payload_bytes.data(), payload_bytes.size()));
+    return out_bytes;
+}
+
+/**
+ * Encode one block (the four column buffers) onto @p out, choosing each
+ * column's codec, and return its filled index entry (firstRecord and
+ * blobOffset left for the caller).
+ */
+columnar::BlockInfo
+encodeBlock(const std::vector<std::uint64_t> cols[columnar::kColumnCount],
+            std::vector<std::uint8_t> *out)
+{
+    columnar::BlockInfo b;
+    b.records = cols[columnar::kColCycle].size();
+    b.firstCycle = cols[columnar::kColCycle].front();
+    b.lastCycle = cols[columnar::kColCycle].back();
+    const std::size_t start = out->size();
+    for (std::size_t c = 0; c < columnar::kColumnCount; ++c) {
+        const std::size_t col_start = out->size();
+        b.codec[c] = columnar::chooseCodec(cols[c], out);
+        b.columnBytes[c] = out->size() - col_start;
+    }
+    b.checksum = fnv1a(out->data() + start, out->size() - start);
+    return b;
 }
 
 } // namespace
@@ -488,31 +360,125 @@ traceStatusName(TraceStatus status)
 }
 
 std::uint64_t
-configHash(const TraceMeta &meta)
+configHashForVersion(const TraceMeta &meta, std::uint32_t version)
 {
     std::vector<std::uint8_t> bytes;
     ByteWriter w(bytes);
-    w.u32(kTraceVersion);
-    putConfig(w, meta);
+    w.u32(version);
+    putConfig(w, meta, version);
     return fnv1a(bytes.data(), bytes.size());
 }
+
+std::uint64_t
+configHash(const TraceMeta &meta)
+{
+    return configHashForVersion(meta, kTraceVersion);
+}
+
+namespace detail {
+
+TraceStatus
+parseTraceHeader(const std::uint8_t *data, std::size_t size,
+                 HeaderInfo *out, std::string *err)
+{
+    *out = {};
+    err->clear();
+    if (size < kTraceHeaderSize) {
+        *err = "file shorter than the fixed header (" +
+               std::to_string(size) + " bytes)";
+        return TraceStatus::Truncated;
+    }
+    if (std::memcmp(data, kTraceMagic, 4) != 0) {
+        *err = "magic bytes are not \"LSRT\"";
+        return TraceStatus::BadMagic;
+    }
+    ByteReader header(data + 4, kTraceHeaderSize - 4);
+    out->version = header.u32();
+    if (out->version < kTraceMinVersion ||
+            out->version > kTraceVersion) {
+        *err = "trace version " + std::to_string(out->version) +
+               ", reader supports " + std::to_string(kTraceMinVersion) +
+               ".." + std::to_string(kTraceVersion);
+        return TraceStatus::BadVersion;
+    }
+    const std::uint32_t endian = header.u32();
+    if (endian != kTraceEndianMarker) {
+        *err = "endianness marker mismatch (foreign-endian writer?)";
+        return TraceStatus::BadEndianness;
+    }
+    out->configHash = header.u64();
+    out->payloadSize = header.u64();
+    return TraceStatus::Ok;
+}
+
+TraceStatus
+parseMetaSections(const std::uint8_t *payload, std::size_t size,
+                  std::uint32_t version, TraceMeta *meta,
+                  std::size_t *consumed, std::string *err)
+{
+    *consumed = 0;
+    ByteReader r(payload, size);
+    std::string config_err;
+    if (!getConfig(r, meta, version, &config_err)) {
+        if (!r.ok) {
+            *err = "config section ends mid-structure";
+            return TraceStatus::Truncated;
+        }
+        *err = config_err;
+        return TraceStatus::Corrupt;
+    }
+    if (!r.ok) {
+        *err = "config section ends mid-structure";
+        return TraceStatus::Truncated;
+    }
+    getResults(r, meta);
+    if (!r.ok) {
+        *err = "results section ends mid-structure";
+        return TraceStatus::Truncated;
+    }
+    *consumed = size - r.remaining();
+    return TraceStatus::Ok;
+}
+
+} // namespace detail
 
 // ---------------------------------------------------------------------
 // TraceWriter
 // ---------------------------------------------------------------------
 
-TraceWriter::TraceWriter(TraceMeta meta) : meta_(std::move(meta)) {}
+TraceWriter::TraceWriter(TraceMeta meta, std::size_t block_records)
+    : meta_(std::move(meta)),
+      blockRecords_(std::clamp<std::size_t>(block_records, 1,
+                                            columnar::kMaxBlockRecords))
+{
+}
 
 void
 TraceWriter::append(const pebs::PebsRecord &rec)
 {
-    if (rec.cycle < prev_.cycle)
+    if (rec.cycle < prevCycle_)
         monotonic_ = false;
-    // Encodes straight into the member buffer: no per-record allocation.
-    ByteWriter w(recordBytes_);
-    putRecordDelta(w, rec, prev_);
-    prev_ = rec;
+    pending_[columnar::kColPc].push_back(rec.pc);
+    pending_[columnar::kColAddr].push_back(rec.dataAddr);
+    pending_[columnar::kColCore].push_back(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(rec.core)));
+    pending_[columnar::kColCycle].push_back(rec.cycle);
+    prevCycle_ = rec.cycle;
     ++recordCount_;
+    if (pending_[columnar::kColCycle].size() >= blockRecords_)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    const std::size_t blob_offset = blob_.size();
+    columnar::BlockInfo b = encodeBlock(pending_, &blob_);
+    b.firstRecord = recordCount_ - b.records;
+    b.blobOffset = blob_offset;
+    index_.blocks.push_back(b);
+    for (auto &col : pending_)
+        col.clear();
 }
 
 void
@@ -527,24 +493,29 @@ TraceWriter::finalize() const
 {
     std::vector<std::uint8_t> payload_bytes;
     ByteWriter payload(payload_bytes);
-    putConfig(payload, meta_);
+    putConfig(payload, meta_, kTraceVersion);
     putResults(payload, meta_);
-    payload.var(recordCount_);
-    payload_bytes.insert(payload_bytes.end(), recordBytes_.begin(),
-                         recordBytes_.end());
 
-    std::vector<std::uint8_t> out_bytes;
-    ByteWriter out(out_bytes);
-    out_bytes.reserve(kHeaderSize + payload_bytes.size() + kTrailerSize);
-    out_bytes.insert(out_bytes.end(), kTraceMagic, kTraceMagic + 4);
-    out.u32(kTraceVersion);
-    out.u32(kTraceEndianMarker);
-    out.u64(configHash(meta_));
-    out.u64(payload_bytes.size());
-    out_bytes.insert(out_bytes.end(), payload_bytes.begin(),
-                     payload_bytes.end());
-    out.u64(fnv1a(payload_bytes.data(), payload_bytes.size()));
-    return out_bytes;
+    columnar::BlockIndex index = index_;
+    index.records = recordCount_;
+    index.blobOffset = payload_bytes.size();
+    index.metaChecksum = fnv1a(payload_bytes.data(), payload_bytes.size());
+
+    payload_bytes.insert(payload_bytes.end(), blob_.begin(), blob_.end());
+    // The current partial block (finalize() is const, so it cannot be
+    // flushed into blob_) encodes straight onto the payload.
+    if (!pending_[columnar::kColCycle].empty()) {
+        const std::size_t blob_offset = blob_.size();
+        columnar::BlockInfo b = encodeBlock(pending_, &payload_bytes);
+        b.firstRecord = recordCount_ - b.records;
+        b.blobOffset = blob_offset;
+        index.blocks.push_back(b);
+    }
+    const std::uint64_t index_offset = payload_bytes.size();
+    index.encode(&payload_bytes);
+    payload.u64(index_offset);
+
+    return wrapPayload(payload_bytes, kTraceVersion, configHash(meta_));
 }
 
 TraceStatus
@@ -584,6 +555,23 @@ writeTraceFile(const Trace &trace, const std::string &path)
     return writer.writeFile(path);
 }
 
+std::vector<std::uint8_t>
+encodeLegacyTrace(const Trace &trace, std::uint32_t version)
+{
+    std::vector<std::uint8_t> payload_bytes;
+    ByteWriter payload(payload_bytes);
+    putConfig(payload, trace.meta, version);
+    putResults(payload, trace.meta);
+    payload.var(trace.records.size());
+    pebs::PebsRecord prev{};
+    for (const pebs::PebsRecord &rec : trace.records) {
+        putRecordDelta(payload, rec, prev);
+        prev = rec;
+    }
+    return wrapPayload(payload_bytes, version,
+                       configHashForVersion(trace.meta, version));
+}
+
 // ---------------------------------------------------------------------
 // TraceReader
 // ---------------------------------------------------------------------
@@ -592,71 +580,18 @@ TraceStatus
 TraceReader::fail(TraceStatus status, std::string detail)
 {
     trace_ = {};
+    version_ = 0;
     error_ = std::move(detail);
     return status;
 }
 
 TraceStatus
-TraceReader::parse(const std::uint8_t *data, std::size_t size)
+TraceReader::parseLegacyRecords(const std::uint8_t *payload,
+                                std::size_t payload_size,
+                                std::size_t meta_size,
+                                std::uint32_t version)
 {
-    trace_ = {};
-    error_.clear();
-
-    if (size < kHeaderSize + kTrailerSize)
-        return fail(TraceStatus::Truncated,
-                    "file shorter than header + trailer (" +
-                        std::to_string(size) + " bytes)");
-    if (std::memcmp(data, kTraceMagic, 4) != 0)
-        return fail(TraceStatus::BadMagic, "magic bytes are not \"LSRT\"");
-
-    ByteReader header(data + 4, kHeaderSize - 4);
-    const std::uint32_t version = header.u32();
-    if (version != kTraceVersion)
-        return fail(TraceStatus::BadVersion,
-                    "trace version " + std::to_string(version) +
-                        ", reader supports " +
-                        std::to_string(kTraceVersion));
-    const std::uint32_t endian = header.u32();
-    if (endian != kTraceEndianMarker)
-        return fail(TraceStatus::BadEndianness,
-                    "endianness marker mismatch (foreign-endian writer?)");
-    const std::uint64_t stored_hash = header.u64();
-    const std::uint64_t payload_size = header.u64();
-
-    if (payload_size > size - kHeaderSize - kTrailerSize)
-        return fail(TraceStatus::Truncated,
-                    "payload declares " + std::to_string(payload_size) +
-                        " bytes but only " +
-                        std::to_string(size - kHeaderSize - kTrailerSize) +
-                        " present");
-    if (payload_size < size - kHeaderSize - kTrailerSize)
-        return fail(TraceStatus::Corrupt,
-                    "trailing bytes after payload + checksum");
-
-    const std::uint8_t *payload = data + kHeaderSize;
-    ByteReader trailer(payload + payload_size, kTrailerSize);
-    const std::uint64_t stored_sum = trailer.u64();
-    const std::uint64_t actual_sum =
-        fnv1a(payload, static_cast<std::size_t>(payload_size));
-    if (stored_sum != actual_sum)
-        return fail(TraceStatus::Corrupt, "payload checksum mismatch");
-
-    ByteReader r(payload, static_cast<std::size_t>(payload_size));
-    std::string config_err;
-    if (!getConfig(r, &trace_.meta, &config_err)) {
-        if (!r.ok)
-            return fail(TraceStatus::Truncated,
-                        "config section ends mid-structure");
-        return fail(TraceStatus::Corrupt, config_err);
-    }
-    if (!r.ok)
-        return fail(TraceStatus::Truncated,
-                    "config section ends mid-structure");
-    getResults(r, &trace_.meta);
-    if (!r.ok)
-        return fail(TraceStatus::Truncated,
-                    "results section ends mid-structure");
-
+    ByteReader r(payload + meta_size, payload_size - meta_size);
     const std::uint64_t count = r.var();
     // Every record occupies at least 4 payload bytes (4 varint fields),
     // which bounds the reserve below against allocation-bomb counts.
@@ -675,9 +610,10 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size)
             return fail(TraceStatus::Truncated,
                         "record stream ends mid-record at index " +
                             std::to_string(i));
-        // Canonical streams are non-decreasing in cycle; time-window
-        // sharding and every sink's stream contract depend on it.
-        if (rec.cycle < prev.cycle)
+        // Canonical streams (v2+) are non-decreasing in cycle;
+        // time-window sharding and every sink's stream contract depend
+        // on it. v1 streams are driver-delivery order — sorted below.
+        if (version >= 2 && rec.cycle < prev.cycle)
             return fail(TraceStatus::NonMonotonic,
                         "record " + std::to_string(i) + " cycle " +
                             std::to_string(rec.cycle) +
@@ -690,10 +626,154 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size)
         return fail(TraceStatus::Corrupt,
                     std::to_string(r.remaining()) +
                         " unconsumed payload bytes after records");
+    if (version < 2)
+        analysis::sortByCycle(&trace_.records);
+    return TraceStatus::Ok;
+}
 
-    if (configHash(trace_.meta) != stored_hash)
+TraceStatus
+TraceReader::parseColumnarRecords(const std::uint8_t *payload,
+                                  std::size_t payload_size,
+                                  std::size_t meta_size)
+{
+    if (payload_size < meta_size + 8)
+        return fail(TraceStatus::Truncated,
+                    "payload too small for the index offset");
+    ByteReader tail(payload + payload_size - 8, 8);
+    const std::uint64_t index_offset = tail.u64();
+    if (index_offset < meta_size || index_offset > payload_size - 8)
+        return fail(TraceStatus::Corrupt,
+                    "block index offset out of range");
+
+    columnar::BlockIndex index;
+    std::string index_err;
+    if (!index.decode(payload + index_offset,
+                      payload_size - 8 - index_offset, &index_err))
+        return fail(TraceStatus::Corrupt,
+                    "block index: " + index_err);
+    if (index.blobOffset != meta_size)
+        return fail(TraceStatus::Corrupt,
+                    "block index blob offset does not match the meta "
+                    "sections");
+    if (index.metaChecksum != wire::fnv1a(payload, meta_size))
+        return fail(TraceStatus::Corrupt,
+                    "meta-section checksum mismatch");
+    if (index.blobBytes() != index_offset - meta_size)
+        return fail(TraceStatus::Corrupt,
+                    "block sizes do not cover the record blob");
+
+    const std::uint8_t *blob = payload + meta_size;
+    // No up-front reserve of index.records: columnar blocks can be
+    // sub-byte per record, so a crafted index could declare counts far
+    // beyond the file size; geometric growth caps the damage to the
+    // bytes a decode actually yields (per-block counts are bounded by
+    // kMaxBlockRecords).
+    std::uint64_t prev_cycle = 0;
+    std::uint64_t rec_idx = 0;
+    std::vector<std::uint64_t> cols[columnar::kColumnCount];
+    for (std::size_t bi = 0; bi < index.blocks.size(); ++bi) {
+        const columnar::BlockInfo &b = index.blocks[bi];
+        const std::uint8_t *bp = blob + b.blobOffset;
+        if (wire::fnv1a(bp, static_cast<std::size_t>(b.blobBytes())) !=
+                b.checksum)
+            return fail(TraceStatus::Corrupt,
+                        "block " + std::to_string(bi) +
+                            " checksum mismatch");
+        for (std::size_t c = 0; c < columnar::kColumnCount; ++c) {
+            if (!columnar::decodeColumn(
+                    b.codec[c], bp + b.columnOffset(c),
+                    static_cast<std::size_t>(b.columnBytes[c]),
+                    static_cast<std::size_t>(b.records), &cols[c]))
+                return fail(TraceStatus::Corrupt,
+                            "block " + std::to_string(bi) + " column " +
+                                columnar::columnName(c) + " malformed");
+        }
+        if (cols[columnar::kColCycle].front() != b.firstCycle ||
+                cols[columnar::kColCycle].back() != b.lastCycle)
+            return fail(TraceStatus::Corrupt,
+                        "block " + std::to_string(bi) +
+                            " cycle range does not match its records");
+        for (std::size_t i = 0; i < b.records; ++i) {
+            pebs::PebsRecord rec;
+            rec.pc = cols[columnar::kColPc][i];
+            rec.dataAddr = cols[columnar::kColAddr][i];
+            rec.core = static_cast<int>(static_cast<std::int64_t>(
+                cols[columnar::kColCore][i]));
+            rec.cycle = cols[columnar::kColCycle][i];
+            if (rec_idx > 0 && rec.cycle < prev_cycle)
+                return fail(
+                    TraceStatus::NonMonotonic,
+                    "record " + std::to_string(rec_idx) + " cycle " +
+                        std::to_string(rec.cycle) +
+                        " precedes previous record's cycle " +
+                        std::to_string(prev_cycle));
+            trace_.records.push_back(rec);
+            prev_cycle = rec.cycle;
+            ++rec_idx;
+        }
+    }
+    return TraceStatus::Ok;
+}
+
+TraceStatus
+TraceReader::parse(const std::uint8_t *data, std::size_t size)
+{
+    trace_ = {};
+    version_ = 0;
+    error_.clear();
+
+    if (size < kTraceHeaderSize + kTraceTrailerSize)
+        return fail(TraceStatus::Truncated,
+                    "file shorter than header + trailer (" +
+                        std::to_string(size) + " bytes)");
+    detail::HeaderInfo header;
+    std::string header_err;
+    const TraceStatus header_status =
+        detail::parseTraceHeader(data, size, &header, &header_err);
+    if (header_status != TraceStatus::Ok)
+        return fail(header_status, std::move(header_err));
+
+    if (header.payloadSize > size - kTraceHeaderSize - kTraceTrailerSize)
+        return fail(TraceStatus::Truncated,
+                    "payload declares " +
+                        std::to_string(header.payloadSize) +
+                        " bytes but only " +
+                        std::to_string(size - kTraceHeaderSize -
+                                       kTraceTrailerSize) +
+                        " present");
+    if (header.payloadSize < size - kTraceHeaderSize - kTraceTrailerSize)
+        return fail(TraceStatus::Corrupt,
+                    "trailing bytes after payload + checksum");
+
+    const std::uint8_t *payload = data + kTraceHeaderSize;
+    const std::size_t payload_size =
+        static_cast<std::size_t>(header.payloadSize);
+    ByteReader trailer(payload + payload_size, kTraceTrailerSize);
+    const std::uint64_t stored_sum = trailer.u64();
+    if (stored_sum != fnv1a(payload, payload_size))
+        return fail(TraceStatus::Corrupt, "payload checksum mismatch");
+
+    std::size_t meta_size = 0;
+    std::string meta_err;
+    const TraceStatus meta_status = detail::parseMetaSections(
+        payload, payload_size, header.version, &trace_.meta, &meta_size,
+        &meta_err);
+    if (meta_status != TraceStatus::Ok)
+        return fail(meta_status, std::move(meta_err));
+
+    const TraceStatus records_status =
+        header.version >= 3
+            ? parseColumnarRecords(payload, payload_size, meta_size)
+            : parseLegacyRecords(payload, payload_size, meta_size,
+                                 header.version);
+    if (records_status != TraceStatus::Ok)
+        return records_status;
+
+    if (configHashForVersion(trace_.meta, header.version) !=
+            header.configHash)
         return fail(TraceStatus::Corrupt,
                     "header config hash does not match config section");
+    version_ = header.version;
     return TraceStatus::Ok;
 }
 

@@ -20,29 +20,53 @@
  *   4       4     u32 format version (kTraceVersion)
  *   8       4     u32 endianness marker (kTraceEndianMarker)
  *   12      8     u64 config hash (cache key; FNV-1a of config section)
- *   20      8     u64 payload size in bytes
- *   28      n     payload: config section, results section, records
+ *   20      8     u64 payload size in bytes (n)
+ *   28      n     payload
  *   28+n    8     u64 FNV-1a checksum of the payload
+ *
+ * Format v3 payload (columnar; see trace/columnar.h for the codecs):
+ *
+ *   config section     varint/zigzag-encoded capture configuration
+ *   results section    machine stats, runtime, /proc maps text
+ *   record blob        records in fixed-size blocks; within a block
+ *                      each field (pc / data addr / core / cycle) is a
+ *                      column encoded with the per-block codec that
+ *                      compresses it best
+ *   block index        per block: record count, cycle range, per-column
+ *                      codec + encoded size, FNV-1a block checksum;
+ *                      carries a checksum of the config+results
+ *                      sections and its own trailing self-checksum
+ *   u64 index offset   absolute offset of the block index within the
+ *                      payload (fixed-width; always the last 8 payload
+ *                      bytes)
+ *
+ * The block index makes the file seekable: trace::TraceFile reads the
+ * header, the trailing index offset and the index, binary-searches the
+ * blocks for a record range or cycle window, and decodes only the
+ * overlapping blocks — no prefix decode and no whole-file checksum pass
+ * on the seek path (the meta/index/block checksums cover every byte it
+ * reads). A full TraceReader parse remains fully strict: it verifies
+ * the whole-payload checksum first and then cross-checks the index
+ * against every decoded record.
  *
  * Within the payload, integers are LEB128 varints (signed values
  * zigzag-encoded), doubles are fixed 8-byte IEEE bit patterns, strings
- * are length-prefixed. Records are delta-encoded against the previous
- * record (pc / data address / cycle as zigzag deltas), which compresses
- * the hot-loop streams the monitor produces by roughly 4-6x over raw
- * structs.
+ * are length-prefixed.
  *
- * Format v2 additions: the record stream is canonical — records are
- * stored in non-decreasing cycle order (the order every analysis sink
- * consumes), so sharded replay can split a trace into time windows by
- * plain index arithmetic; and the config section carries the VTune and
- * Sheriff model configurations, because v2 traces capture those
- * baseline schemes too (the scheme string names the stream's record
- * encoding).
+ * Older formats still parse (read-side compatibility; `laser_trace
+ * migrate` upgrades files in place): v2 stored records row-wise as
+ * interleaved zigzag deltas, v1 additionally lacked the VTune/Sheriff
+ * config sections and stored records in driver-delivery order (a v1
+ * parse restores canonical order with analysis::sortByCycle). The
+ * config hash is version-scoped — configHashForVersion() reproduces the
+ * key an old writer stored — and the write side always emits
+ * kTraceVersion.
  *
  * Parsing is strict: wrong magic, foreign endianness, unknown version,
  * short files, checksum/hash mismatches and non-monotonic record cycle
  * streams each yield a typed TraceStatus, never undefined behaviour. A
- * trace that parses Ok round-trips byte-exactly.
+ * trace that parses Ok round-trips byte-exactly (codec choice is
+ * deterministic).
  */
 
 #ifndef LASER_TRACE_TRACE_H
@@ -58,15 +82,21 @@
 #include "pebs/monitor.h"
 #include "pebs/record.h"
 #include "sim/machine.h"
+#include "trace/columnar.h"
 #include "workloads/workload.h"
 
 namespace laser::trace {
 
-constexpr std::uint32_t kTraceVersion = 2;
+constexpr std::uint32_t kTraceVersion = 3;
+/** Oldest version the read side still parses. */
+constexpr std::uint32_t kTraceMinVersion = 1;
 constexpr char kTraceMagic[4] = {'L', 'S', 'R', 'T'};
 constexpr std::uint32_t kTraceEndianMarker = 0x01020304;
 /** Canonical trace-file extension (also used by the sweep cache). */
 constexpr const char *kTraceExtension = ".ltrace";
+/** Fixed header / trailer sizes (see the file-layout table above). */
+constexpr std::size_t kTraceHeaderSize = 28;
+constexpr std::size_t kTraceTrailerSize = 8;
 
 /** Typed outcome of every trace parse/IO operation. */
 enum class TraceStatus : std::uint8_t {
@@ -113,11 +143,17 @@ struct TraceMeta
  * Content hash of a capture configuration: the cache key under which a
  * trace is stored. Computable before running anything (only the config
  * section of @p meta is read), and stored in the file header so a cache
- * can index traces without decoding payloads.
+ * can index traces without decoding payloads. Version-scoped: bumping
+ * kTraceVersion re-keys every cache (`laser_trace migrate` re-keys old
+ * cache files to their new hash).
  */
 std::uint64_t configHash(const TraceMeta &meta);
 
-/** A decoded trace: metadata + records in driver-delivery order. */
+/** The config hash a version-@p version writer would have stored. */
+std::uint64_t configHashForVersion(const TraceMeta &meta,
+                                   std::uint32_t version);
+
+/** A decoded trace: metadata + records in canonical cycle order. */
 struct Trace
 {
     TraceMeta meta;
@@ -125,9 +161,14 @@ struct Trace
 };
 
 /**
- * Streaming trace encoder. Also an analysis::RecordSink, so a capture
- * path can tee one record stream into a live analyzer and a trace file
- * through identical plumbing.
+ * Streaming trace encoder (always writes kTraceVersion). Also an
+ * analysis::RecordSink, so a capture path can tee one record stream
+ * into a live analyzer and a trace file through identical plumbing.
+ *
+ * Records are buffered per column; every @p block_records appends the
+ * writer encodes one block (choosing each column's codec for those
+ * records) into the growing record blob, so writer memory is O(block),
+ * not O(trace).
  *
  * Appended records must follow the canonical stream contract
  * (non-decreasing cycles; sort raw driver output with
@@ -145,9 +186,11 @@ struct Trace
 class TraceWriter : public analysis::RecordSink
 {
   public:
-    explicit TraceWriter(TraceMeta meta);
+    explicit TraceWriter(
+        TraceMeta meta,
+        std::size_t block_records = columnar::kDefaultBlockRecords);
 
-    /** Append one record (delta-encoded immediately). */
+    /** Append one record (encoded block-at-a-time). */
     void append(const pebs::PebsRecord &rec);
     void appendAll(const std::vector<pebs::PebsRecord> &recs);
 
@@ -167,10 +210,18 @@ class TraceWriter : public analysis::RecordSink
     std::size_t recordCount() const { return recordCount_; }
 
   private:
+    void flushBlock();
+
     TraceMeta meta_;
-    std::vector<std::uint8_t> recordBytes_;
+    std::size_t blockRecords_;
+    /** Column buffers of the current (unflushed) block. */
+    std::vector<std::uint64_t> pending_[columnar::kColumnCount];
+    /** Encoded bytes of all flushed blocks. */
+    std::vector<std::uint8_t> blob_;
+    /** Index entries of all flushed blocks. */
+    columnar::BlockIndex index_;
     std::size_t recordCount_ = 0;
-    pebs::PebsRecord prev_{};
+    std::uint64_t prevCycle_ = 0;
     bool monotonic_ = true;
 };
 
@@ -178,9 +229,19 @@ class TraceWriter : public analysis::RecordSink
 TraceStatus writeTraceFile(const Trace &trace, const std::string &path);
 
 /**
- * Strict trace decoder. All entry points return a TraceStatus; trace()
- * is only meaningful after an Ok parse. error() carries a human-readable
- * detail string for every failure.
+ * Encode @p trace as an older format version (1 or 2) — the row-wise
+ * interleaved-delta encodings v3 replaced. Exists for migration tests
+ * and for measuring v3's compression against v2; the write path proper
+ * always emits kTraceVersion.
+ */
+std::vector<std::uint8_t> encodeLegacyTrace(const Trace &trace,
+                                            std::uint32_t version);
+
+/**
+ * Strict trace decoder (reads every supported version; see the header
+ * comment for the compatibility rules). All entry points return a
+ * TraceStatus; trace() is only meaningful after an Ok parse. error()
+ * carries a human-readable detail string for every failure.
  */
 class TraceReader
 {
@@ -192,15 +253,56 @@ class TraceReader
     const Trace &trace() const { return trace_; }
     /** Move the parsed trace out (reader resets to empty). */
     Trace takeTrace() { return std::move(trace_); }
+    /** Format version of the last Ok parse. */
+    std::uint32_t version() const { return version_; }
     /** Detail message for the last non-Ok status ("" after Ok). */
     const std::string &error() const { return error_; }
 
   private:
     TraceStatus fail(TraceStatus status, std::string detail);
+    TraceStatus parseLegacyRecords(const std::uint8_t *payload,
+                                   std::size_t payload_size,
+                                   std::size_t meta_size,
+                                   std::uint32_t version);
+    TraceStatus parseColumnarRecords(const std::uint8_t *payload,
+                                     std::size_t payload_size,
+                                     std::size_t meta_size);
 
     Trace trace_;
+    std::uint32_t version_ = 0;
     std::string error_;
 };
+
+namespace detail {
+
+/** Parsed fixed header fields. */
+struct HeaderInfo
+{
+    std::uint32_t version = 0;
+    std::uint64_t configHash = 0;
+    std::uint64_t payloadSize = 0;
+};
+
+/**
+ * Validate the fixed 28-byte header (magic, supported version,
+ * endianness) and extract its fields. Shared by the full reader, the
+ * seekable TraceFile and the cache's header-only inventory so all
+ * three reject foreign files identically.
+ */
+TraceStatus parseTraceHeader(const std::uint8_t *data, std::size_t size,
+                             HeaderInfo *out, std::string *err);
+
+/**
+ * Parse the config + results sections at the start of a payload
+ * (version-dependent: v1 lacks the VTune/Sheriff config blocks).
+ * On Ok, *consumed is the meta-section size in bytes.
+ */
+TraceStatus parseMetaSections(const std::uint8_t *payload,
+                              std::size_t size, std::uint32_t version,
+                              TraceMeta *meta, std::size_t *consumed,
+                              std::string *err);
+
+} // namespace detail
 
 } // namespace laser::trace
 

@@ -108,4 +108,20 @@ fmtCount(std::uint64_t v)
     return out;
 }
 
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    if (bytes < 1024)
+        return std::to_string(bytes) + " B";
+    double v = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    static const char *const names[] = {"B",   "KiB", "MiB",
+                                        "GiB", "TiB", "PiB"};
+    while (v >= 1024.0 && unit + 1 < sizeof names / sizeof names[0]) {
+        v /= 1024.0;
+        ++unit;
+    }
+    return fmtDouble(v, 1) + " " + names[unit];
+}
+
 } // namespace laser

@@ -60,6 +60,12 @@ std::string fmtPercent(double fraction, int places = 1);
 /** Format an integer count with thousands separators. */
 std::string fmtCount(std::uint64_t v);
 
+/**
+ * Format a byte count human-readably with binary units, e.g.
+ * 1536 -> "1.5 KiB", 42 -> "42 B". One decimal place above bytes.
+ */
+std::string humanBytes(std::uint64_t bytes);
+
 } // namespace laser
 
 #endif // LASER_UTIL_TABLE_H

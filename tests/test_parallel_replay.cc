@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "core/experiment.h"
 #include "core/sweep_runner.h"
 #include "detect/detector.h"
@@ -19,6 +22,7 @@
 #include "trace/capture.h"
 #include "trace/parallel_replay.h"
 #include "trace/replay.h"
+#include "trace/trace_file.h"
 #include "util/thread_pool.h"
 
 namespace laser::trace {
@@ -204,6 +208,63 @@ TEST(ParallelReplay, IdenticalToSerialForEveryWorkload)
                 }
             }
         }
+    });
+    for (const std::string &failure : failures)
+        EXPECT_TRUE(failure.empty()) << failure;
+}
+
+TEST(ParallelReplay, FileBackedCursorsIdenticalToSerialForEveryWorkload)
+{
+    // The streaming path: every workload written to a v3 file, mmapped
+    // back, and sharded over per-shard block cursors. The merged report
+    // must stay field-identical to the serial in-memory replay — the
+    // index-based shard split sees the same record boundaries whether
+    // records come from a vector or from decoded blocks.
+    core::SweepRunner runner;
+    const auto &all = workloads::allWorkloads();
+    ASSERT_FALSE(all.empty());
+
+    detect::DetectorConfig cfg;
+    cfg.sav = 19;
+
+    std::vector<std::string> failures(all.size());
+    runner.parallelFor(all.size(), [&](std::size_t i) {
+        const workloads::WorkloadDef &w = all[i];
+        const auto trace = runner.capture(w, trace::CaptureOptions{});
+        const std::string path =
+            (std::filesystem::temp_directory_path() /
+             ("laser_filecursor_" + std::to_string(i) + ".ltrace"))
+                .string();
+        if (writeTraceFile(*trace, path) != TraceStatus::Ok) {
+            failures[i] = w.info.name + ": cannot write trace file";
+            return;
+        }
+        TraceFile file;
+        if (file.open(path) != TraceStatus::Ok) {
+            failures[i] = w.info.name + ": " + file.error();
+            std::remove(path.c_str());
+            return;
+        }
+        TraceReplayer mem_env(*trace);
+        TraceReplayer file_env(file.meta(), file);
+        if (!mem_env.ok() || !file_env.ok()) {
+            failures[i] = w.info.name + ": replay environment failed";
+            std::remove(path.c_str());
+            return;
+        }
+        const detect::DetectionReport serial = mem_env.replay(cfg);
+        for (int shards : {1, 3, 5}) {
+            ParallelReplayer::Options opt;
+            opt.shards = shards;
+            ParallelReplayer parallel(file_env, opt);
+            if (!detect::reportsIdentical(serial, parallel.replay(cfg))) {
+                failures[i] = w.info.name + ": file-backed replay (" +
+                              std::to_string(shards) +
+                              " shards) differs from serial";
+                break;
+            }
+        }
+        std::remove(path.c_str());
     });
     for (const std::string &failure : failures)
         EXPECT_TRUE(failure.empty()) << failure;

@@ -11,16 +11,27 @@
  *
  *   laser_trace info FILE
  *       Decode and print a trace's header, configuration and stats.
+ *       For v3 (columnar) traces also prints the compression report:
+ *       per-column compressed/uncompressed bytes, which codec each
+ *       block chose per column, and block-index/seek statistics.
  *
  *   laser_trace replay FILE [--threshold F | --thresholds t1,t2,...]
- *                      [--shards N]
+ *                      [--shards N] [--cycles BEGIN:END]
  *       Re-run the trace's analysis offline — no simulation. For
  *       laser-detect traces, --shards N digests the stream as N
  *       time-window shards in parallel (verifying the merged report
  *       against the serial one and printing the speedup), and
  *       --thresholds replays several configurations from one digest
- *       (multi-config single-pass). VTune and Sheriff traces replay
- *       through their own offline analyzers.
+ *       (multi-config single-pass). --cycles replays only the records
+ *       in a cycle window, decoding only the blocks that overlap it
+ *       (v3 traces; prints how many payload bytes the seek touched).
+ *       VTune and Sheriff traces replay through their own offline
+ *       analyzers.
+ *
+ *   laser_trace migrate PATH
+ *       Upgrade a trace file — or, when PATH is a directory, every
+ *       *.ltrace in it — to the current format version, re-keying
+ *       cache files to their new (version-scoped) config hash.
  *
  *   laser_trace sweep [--workloads a,b,...] [--thresholds t1,t2,...]
  *                     [--cache-dir DIR] [-j N] [--shards N]
@@ -63,9 +74,11 @@
 #include "obs/metrics.h"
 #include "trace/cache.h"
 #include "trace/capture.h"
+#include "trace/columnar.h"
 #include "trace/parallel_replay.h"
 #include "trace/replay.h"
 #include "trace/trace.h"
+#include "trace/trace_file.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -83,7 +96,8 @@ usage()
         "                    [--heap-shift N] [--threads N] [--scale F]\n"
         "  info FILE\n"
         "  replay FILE [--threshold F | --thresholds t1,t2,...]\n"
-        "         [--shards N]\n"
+        "         [--shards N] [--cycles BEGIN:END]\n"
+        "  migrate PATH            (trace file, or cache directory)\n"
         "  sweep [--workloads a,b,...] [--thresholds t1,t2,...]\n"
         "        [--cache-dir DIR] [-j N] [--shards N]\n"
         "  cache ls DIR\n"
@@ -280,11 +294,115 @@ cmdRecord(int argc, char **argv)
     return 0;
 }
 
+void
+printMetaInfo(const char *path, std::uint32_t version,
+              const trace::TraceMeta &meta, std::size_t records)
+{
+    std::printf("trace file:    %s\n", path);
+    std::printf("format:        LSRT v%u%s\n", version,
+                version < 3 ? " (row-wise legacy; run `laser_trace "
+                              "migrate` to upgrade)"
+                            : " (columnar)");
+    std::printf("config hash:   %016llx\n",
+                (unsigned long long)trace::configHashForVersion(meta,
+                                                                version));
+    std::printf("workload:      %s (scheme %s)\n", meta.workload.c_str(),
+                meta.scheme.c_str());
+    std::printf("capture:       sav=%u threads=%d machine-seed=%llx "
+                "heap-shift=%llu scale=%.2f\n",
+                meta.pebs.sav, meta.build.numThreads,
+                (unsigned long long)meta.machine.seed,
+                (unsigned long long)meta.build.heapPerturbation,
+                meta.build.scale);
+    std::printf("run:           %llu cycles (%.2f represented seconds), "
+                "%llu instructions\n",
+                (unsigned long long)meta.runtimeCycles,
+                meta.stats.seconds(),
+                (unsigned long long)meta.stats.instructions);
+    std::printf("hitm:          %llu loads + %llu stores\n",
+                (unsigned long long)meta.stats.hitmLoads,
+                (unsigned long long)meta.stats.hitmStores);
+    std::printf("records:       %zu\n", records);
+    std::printf("maps text:     %zu bytes\n", meta.mapsText.size());
+}
+
+/** The v3 compression/seek report: per-column bytes + codec mix. */
+void
+printColumnarInfo(const trace::TraceFile &file)
+{
+    namespace col = trace::columnar;
+    const col::BlockIndex &index = file.index();
+    const std::uint64_t records = index.records;
+
+    std::printf("\nblock index:   %zu blocks, %s records/block avg",
+                index.blocks.size(),
+                index.blocks.empty()
+                    ? "0"
+                    : fmtCount(records / index.blocks.size()).c_str());
+    if (!index.blocks.empty()) {
+        const std::uint64_t span =
+            index.blocks.back().lastCycle - index.blocks.front().firstCycle;
+        std::printf(", seek granularity ~%s cycles",
+                    fmtCount(span / index.blocks.size()).c_str());
+    }
+    std::printf("\n");
+    std::printf("payload:       %s total, %s record blob (raw columns "
+                "would be %s)\n",
+                humanBytes(file.payloadBytes()).c_str(),
+                humanBytes(file.recordBlobBytes()).c_str(),
+                humanBytes(records * 8 * col::kColumnCount).c_str());
+
+    TablePrinter table({"column", "compressed", "raw", "ratio", "codecs"});
+    for (std::size_t c = 0; c < col::kColumnCount; ++c) {
+        std::uint64_t bytes = 0;
+        std::uint64_t codec_blocks[col::kCodecCount] = {};
+        for (const col::BlockInfo &b : index.blocks) {
+            bytes += b.columnBytes[c];
+            ++codec_blocks[static_cast<std::uint8_t>(b.codec[c])];
+        }
+        const std::uint64_t raw = records * 8;
+        std::string codecs;
+        for (std::uint8_t k = 0; k < col::kCodecCount; ++k) {
+            if (codec_blocks[k] == 0)
+                continue;
+            if (!codecs.empty())
+                codecs += ", ";
+            codecs += std::string(col::codecName(
+                          static_cast<col::ColumnCodec>(k))) +
+                      " x" + std::to_string(codec_blocks[k]);
+        }
+        table.addRow({col::columnName(c), humanBytes(bytes),
+                      humanBytes(raw),
+                      bytes > 0 ? fmtTimes(double(raw) / double(bytes))
+                                : "-",
+                      codecs.empty() ? "-" : codecs});
+    }
+    std::fputs(table.render().c_str(), stdout);
+}
+
 int
 cmdInfo(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
+
+    // v3 files: header + meta + index only (no record decode needed
+    // for an inventory view). v1/v2 fall back to the full reader.
+    trace::TraceFile file;
+    const trace::TraceStatus seek_status = file.open(argv[2]);
+    if (seek_status == trace::TraceStatus::Ok) {
+        printMetaInfo(argv[2], trace::kTraceVersion, file.meta(),
+                      static_cast<std::size_t>(file.recordCount()));
+        printColumnarInfo(file);
+        return 0;
+    }
+    if (seek_status != trace::TraceStatus::BadVersion) {
+        std::fprintf(stderr, "laser_trace: %s: %s (%s)\n", argv[2],
+                     trace::traceStatusName(seek_status),
+                     file.error().c_str());
+        return 2;
+    }
+
     trace::TraceReader reader;
     const trace::TraceStatus status = reader.readFile(argv[2]);
     if (status != trace::TraceStatus::Ok) {
@@ -293,29 +411,8 @@ cmdInfo(int argc, char **argv)
                      reader.error().c_str());
         return 2;
     }
-    const trace::Trace &t = reader.trace();
-    std::printf("trace file:    %s\n", argv[2]);
-    std::printf("format:        LSRT v%u\n", trace::kTraceVersion);
-    std::printf("config hash:   %016llx\n",
-                (unsigned long long)trace::configHash(t.meta));
-    std::printf("workload:      %s (scheme %s)\n",
-                t.meta.workload.c_str(), t.meta.scheme.c_str());
-    std::printf("capture:       sav=%u threads=%d machine-seed=%llx "
-                "heap-shift=%llu scale=%.2f\n",
-                t.meta.pebs.sav, t.meta.build.numThreads,
-                (unsigned long long)t.meta.machine.seed,
-                (unsigned long long)t.meta.build.heapPerturbation,
-                t.meta.build.scale);
-    std::printf("run:           %llu cycles (%.2f represented seconds), "
-                "%llu instructions\n",
-                (unsigned long long)t.meta.runtimeCycles,
-                t.meta.stats.seconds(),
-                (unsigned long long)t.meta.stats.instructions);
-    std::printf("hitm:          %llu loads + %llu stores\n",
-                (unsigned long long)t.meta.stats.hitmLoads,
-                (unsigned long long)t.meta.stats.hitmStores);
-    std::printf("records:       %zu\n", t.records.size());
-    std::printf("maps text:     %zu bytes\n", t.meta.mapsText.size());
+    printMetaInfo(argv[2], reader.version(), reader.trace().meta,
+                  reader.trace().records.size());
     return 0;
 }
 
@@ -411,6 +508,61 @@ replaySheriffTrace(const trace::Trace &t,
     return 0;
 }
 
+/**
+ * Windowed replay over a seekable trace: decode only the blocks
+ * overlapping [begin, end) and report how much of the payload the seek
+ * actually touched.
+ */
+int
+replayLaserCycles(const trace::TraceFile &file,
+                  const trace::TraceReplayer &replayer,
+                  std::vector<double> thresholds, std::uint64_t begin,
+                  std::uint64_t end)
+{
+    if (thresholds.empty())
+        thresholds.push_back(1000.0); // the paper's default (Section 7.1)
+    obs::Counter &bytes_read =
+        obs::Registry::global().counter("trace.file.bytes_read");
+
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        detect::DetectorConfig cfg;
+        cfg.rateThreshold = thresholds[i];
+        cfg.sav = file.meta().pebs.sav;
+        detect::DetectorPipeline pipeline(replayer.context(), cfg);
+        const std::uint64_t before = bytes_read.value();
+        const std::unique_ptr<trace::RecordCursor> cur =
+            file.cursorForCycles(begin, end);
+        const std::uint64_t windowed = cur->drain(pipeline);
+        if (cur->status() != trace::TraceStatus::Ok) {
+            std::fprintf(stderr,
+                         "laser_trace: window decode failed: %s\n",
+                         trace::traceStatusName(cur->status()));
+            return 2;
+        }
+        const detect::DetectionReport report =
+            pipeline.finish(file.meta().runtimeCycles);
+        std::printf("replaying %s cycles [%llu, %llu) at %.0f HITMs/sec "
+                    "(sav %u): %llu of %llu records\n",
+                    file.meta().workload.c_str(),
+                    (unsigned long long)begin, (unsigned long long)end,
+                    thresholds[i], file.meta().pebs.sav,
+                    (unsigned long long)windowed,
+                    (unsigned long long)file.recordCount());
+        std::printf("seek decoded %s of %s record-blob bytes (%.1f%% of "
+                    "the payload)\n\n",
+                    humanBytes(bytes_read.value() - before).c_str(),
+                    humanBytes(file.recordBlobBytes()).c_str(),
+                    file.payloadBytes() > 0
+                        ? 1e2 * double(bytes_read.value() - before) /
+                              double(file.payloadBytes())
+                        : 0.0);
+        printReport(report);
+        if (i + 1 < thresholds.size())
+            std::printf("\n");
+    }
+    return 0;
+}
+
 int
 cmdReplay(int argc, char **argv)
 {
@@ -418,6 +570,9 @@ cmdReplay(int argc, char **argv)
         return usage();
     std::vector<double> thresholds;
     int shards = 1;
+    bool have_cycles = false;
+    std::uint64_t cycle_begin = 0;
+    std::uint64_t cycle_end = 0;
     std::string v;
     for (int i = 3; i < argc; ++i) {
         if (nextArg(argc, argv, &i, "--threshold", &v))
@@ -428,8 +583,51 @@ cmdReplay(int argc, char **argv)
                 thresholds.push_back(numArg(s, "--thresholds"));
         } else if (nextArg(argc, argv, &i, "--shards", &v))
             shards = int(uintArg(v, "--shards"));
-        else
+        else if (nextArg(argc, argv, &i, "--cycles", &v)) {
+            const std::size_t colon = v.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr, "laser_trace: --cycles expects "
+                                     "BEGIN:END\n");
+                return 1;
+            }
+            cycle_begin = uintArg(v.substr(0, colon), "--cycles");
+            cycle_end = uintArg(v.substr(colon + 1), "--cycles");
+            if (cycle_end <= cycle_begin) {
+                std::fprintf(stderr, "laser_trace: --cycles window is "
+                                     "empty\n");
+                return 1;
+            }
+            have_cycles = true;
+        } else
             return usage();
+    }
+
+    if (have_cycles) {
+        // The windowed path needs the block index; it never touches
+        // blocks outside the window.
+        trace::TraceFile file;
+        const trace::TraceStatus status = file.open(argv[2]);
+        if (status != trace::TraceStatus::Ok) {
+            std::fprintf(stderr, "laser_trace: %s: %s (%s)\n", argv[2],
+                         trace::traceStatusName(status),
+                         file.error().c_str());
+            return 2;
+        }
+        if (file.meta().scheme != "laser-detect") {
+            std::fprintf(stderr,
+                         "laser_trace: --cycles replays laser-detect "
+                         "traces (this is \"%s\")\n",
+                         file.meta().scheme.c_str());
+            return 1;
+        }
+        trace::TraceReplayer replayer(file.meta(), file);
+        if (!replayer.ok()) {
+            std::fprintf(stderr, "laser_trace: %s\n",
+                         replayer.error().c_str());
+            return 2;
+        }
+        return replayLaserCycles(file, replayer, thresholds, cycle_begin,
+                                 cycle_end);
     }
 
     trace::TraceReader reader;
@@ -560,8 +758,8 @@ cmdCache(int argc, char **argv)
             return usage();
         const std::vector<trace::CacheEntry> entries =
             trace::listTraceCache(dir);
-        TablePrinter table({"trace", "config hash", "bytes", "age (s)",
-                            "header"});
+        TablePrinter table({"trace", "config hash", "ver", "size",
+                            "age (s)", "header"});
         const auto now =
             std::filesystem::file_time_type::clock::now();
         std::uint64_t total = 0;
@@ -575,7 +773,10 @@ cmdCache(int argc, char **argv)
             table.addRow({
                 std::filesystem::path(entry.path).filename().string(),
                 entry.status == trace::TraceStatus::Ok ? hash : "-",
-                std::to_string(entry.bytes),
+                entry.status == trace::TraceStatus::Ok
+                    ? "v" + std::to_string(entry.version)
+                    : "-",
+                humanBytes(entry.bytes),
                 fmtDouble(age < 0 ? 0.0 : age, 0),
                 trace::traceStatusName(entry.status),
             });
@@ -584,9 +785,9 @@ cmdCache(int argc, char **argv)
             std::printf("(no traces under %s)\n", dir.c_str());
         else
             std::fputs(table.render().c_str(), stdout);
-        std::printf("%zu traces, %llu bytes total (oldest first = "
+        std::printf("%zu traces, %s total (oldest first = "
                     "first to evict)\n",
-                    entries.size(), (unsigned long long)total);
+                    entries.size(), humanBytes(total).c_str());
         return 0;
     }
 
@@ -608,14 +809,61 @@ cmdCache(int argc, char **argv)
         }
         const trace::CacheGcResult gc =
             trace::gcTraceCache(dir, max_bytes);
-        std::printf("scanned %zu traces (%llu bytes), evicted %zu "
-                    "(LRU by mtime), %llu bytes remain (budget %llu)\n",
-                    gc.scanned, (unsigned long long)gc.bytesBefore,
-                    gc.evicted, (unsigned long long)gc.bytesAfter,
-                    (unsigned long long)max_bytes);
+        std::printf("scanned %zu traces (%s), evicted %zu (LRU by "
+                    "mtime), spared %zu just-used, %zu vanished, "
+                    "%s remain (budget %s)\n",
+                    gc.scanned, humanBytes(gc.bytesBefore).c_str(),
+                    gc.evicted, gc.spared, gc.vanished,
+                    humanBytes(gc.bytesAfter).c_str(),
+                    humanBytes(max_bytes).c_str());
         return 0;
     }
     return usage();
+}
+
+int
+cmdMigrate(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage();
+    const std::string path = argv[2];
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+        const trace::CacheMigrateResult result =
+            trace::migrateTraceCache(path);
+        std::printf("scanned %zu traces: %zu upgraded to v%u, %zu "
+                    "already current, %zu failed\n",
+                    result.scanned, result.upgraded,
+                    trace::kTraceVersion, result.alreadyCurrent,
+                    result.failed);
+        std::printf("cache size %s -> %s\n",
+                    humanBytes(result.bytesBefore).c_str(),
+                    humanBytes(result.bytesAfter).c_str());
+        return result.failed == 0 ? 0 : 2;
+    }
+
+    const trace::MigrateFileResult result =
+        trace::migrateTraceFile(path);
+    if (result.status != trace::TraceStatus::Ok) {
+        std::fprintf(stderr, "laser_trace: %s: %s (%s)\n", path.c_str(),
+                     trace::traceStatusName(result.status),
+                     result.error.c_str());
+        return 2;
+    }
+    if (!result.upgraded) {
+        std::printf("%s is already v%u\n", path.c_str(),
+                    trace::kTraceVersion);
+        return 0;
+    }
+    if (result.newPath != path)
+        std::printf("upgraded %s -> %s (re-keyed to the v%u config "
+                    "hash)\n",
+                    path.c_str(), result.newPath.c_str(),
+                    trace::kTraceVersion);
+    else
+        std::printf("upgraded %s to v%u in place\n", path.c_str(),
+                    trace::kTraceVersion);
+    return 0;
 }
 
 /**
@@ -727,6 +975,8 @@ main(int argc, char **argv)
         rc = cmdSweep(argc, argv);
     else if (cmd == "cache")
         rc = cmdCache(argc, argv);
+    else if (cmd == "migrate")
+        rc = cmdMigrate(argc, argv);
     else if (cmd == "stats")
         rc = cmdStats(argc, argv);
     else
