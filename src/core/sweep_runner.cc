@@ -4,7 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
-#include <mutex>
+#include <mutex> // std::call_once / std::once_flag only
 #include <stdexcept>
 
 #include "core/accuracy.h"
@@ -130,7 +130,7 @@ SweepRunner::loadOrRun(std::uint64_t key,
                 path, std::filesystem::file_time_type::clock::now(), ec);
             metrics.diskHits.inc();
             metrics.bytesRead.inc(fileBytes(path));
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(&mu_);
             ++stats_.diskCacheHits;
             return std::make_shared<trace::Trace>(reader.takeTrace());
         }
@@ -148,12 +148,23 @@ SweepRunner::loadOrRun(std::uint64_t key,
     metrics.machineRuns.inc();
     metrics.captureSeconds.record(secondsSince(start));
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         ++stats_.machineRuns;
     }
     if (!path.empty()) {
-        trace::writeTraceFile(*trace, path);
-        metrics.bytesWritten.inc(fileBytes(path));
+        // Deliberate discard-with-accounting: cache population is
+        // best-effort (a failed write just means a re-simulation next
+        // sweep), but the failure must not be silent — it lands in the
+        // trace.cache.write_failures counter every exporter surfaces.
+        if (trace::writeTraceFile(*trace, path) ==
+                trace::TraceStatus::Ok) {
+            metrics.bytesWritten.inc(fileBytes(path));
+        } else {
+            static obs::Counter &write_failures =
+                obs::Registry::global().counter(
+                    "trace.cache.write_failures");
+            write_failures.inc();
+        }
     }
     return trace;
 }
@@ -178,7 +189,7 @@ SweepRunner::loadOrRunFile(std::uint64_t key,
             std::filesystem::last_write_time(
                 path, std::filesystem::file_time_type::clock::now(), ec);
             metrics.diskHits.inc();
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(&mu_);
             ++stats_.diskCacheHits;
             return file;
         }
@@ -195,18 +206,26 @@ SweepRunner::loadOrRunFile(std::uint64_t key,
     metrics.machineRuns.inc();
     metrics.captureSeconds.record(secondsSince(start));
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         ++stats_.machineRuns;
     }
     auto file = std::make_shared<trace::TraceFile>();
-    if (!path.empty() &&
-            trace::writeTraceFile(captured, path) ==
+    if (!path.empty()) {
+        if (trace::writeTraceFile(captured, path) ==
                 trace::TraceStatus::Ok) {
-        metrics.bytesWritten.inc(fileBytes(path));
-        if (file->open(path) == trace::TraceStatus::Ok)
-            return file;
-        // The file vanished or was clobbered between write and open
-        // (e.g. a concurrent gc); serve the in-memory image instead.
+            metrics.bytesWritten.inc(fileBytes(path));
+            if (file->open(path) == trace::TraceStatus::Ok)
+                return file;
+            // The file vanished or was clobbered between write and
+            // open (e.g. a concurrent gc); serve the in-memory image
+            // instead.
+        } else {
+            // Best-effort cache population; surfaced, never fatal.
+            static obs::Counter &write_failures =
+                obs::Registry::global().counter(
+                    "trace.cache.write_failures");
+            write_failures.inc();
+        }
     }
     trace::TraceWriter writer(captured.meta);
     writer.appendAll(captured.records);
@@ -227,7 +246,7 @@ SweepRunner::captureFile(const workloads::WorkloadDef &workload,
     std::shared_ptr<FileEntry> entry;
     bool created = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         std::shared_ptr<FileEntry> &slot = fileCache_[key];
         if (!slot) {
             slot = std::make_shared<FileEntry>();
@@ -240,7 +259,7 @@ SweepRunner::captureFile(const workloads::WorkloadDef &workload,
         metrics.memoryHits.inc();
         if (!entry->ready.load(std::memory_order_acquire))
             metrics.inflightDedup.inc();
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         ++stats_.memoryCacheHits;
     }
 
@@ -261,7 +280,7 @@ SweepRunner::capture(const workloads::WorkloadDef &workload,
     std::shared_ptr<Entry> entry;
     bool created = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         std::shared_ptr<Entry> &slot = cache_[key];
         if (!slot) {
             slot = std::make_shared<Entry>();
@@ -276,7 +295,7 @@ SweepRunner::capture(const workloads::WorkloadDef &workload,
         // request was coalesced with an in-flight identical one.
         if (!entry->ready.load(std::memory_order_acquire))
             metrics.inflightDedup.inc();
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         ++stats_.memoryCacheHits;
     }
 
@@ -290,7 +309,7 @@ SweepRunner::capture(const workloads::WorkloadDef &workload,
 SweepStats
 SweepRunner::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return stats_;
 }
 

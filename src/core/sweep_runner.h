@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "trace/capture.h"
 #include "trace/trace.h"
 #include "trace/trace_file.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "workloads/workload.h"
 
@@ -132,11 +132,19 @@ class SweepRunner
 
     Config cfg_;
     util::ThreadPool pool_;
-    mutable std::mutex mu_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache_;
+    mutable util::Mutex mu_;
+    /**
+     * Key -> coalescing slot. The maps are guarded; the *slots* escape
+     * the lock deliberately — a slot's payload is published through its
+     * std::once_flag, so concurrent captures of the same key block in
+     * std::call_once instead of serializing the whole cache (see the
+     * Entry definition in sweep_runner.cc).
+     */
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache_
+        GUARDED_BY(mu_);
     std::unordered_map<std::uint64_t, std::shared_ptr<FileEntry>>
-        fileCache_;
-    SweepStats stats_;
+        fileCache_ GUARDED_BY(mu_);
+    SweepStats stats_ GUARDED_BY(mu_);
 };
 
 /** One row of a threshold sweep: accuracy totals at one threshold. */

@@ -32,11 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/mutex.h"
 
 namespace laser::obs {
 
@@ -223,10 +223,18 @@ class Registry
     Snapshot snapshot() const;
 
   private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable util::Mutex mu_;
+    /**
+     * Name -> metric. The maps are guarded (creation and snapshot take
+     * the lock); the metric objects themselves are lock-free — their
+     * striped relaxed-atomic slots are the whole point — so the
+     * references handed out stay valid and writable without mu_.
+     */
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        GUARDED_BY(mu_);
 };
 
 } // namespace laser::obs

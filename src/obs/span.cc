@@ -19,6 +19,8 @@ SpanCollector::SpanCollector()
 SpanCollector &
 SpanCollector::global()
 {
+    // laser-lint: allow(raw-new-delete) — leaked singleton (spans may
+    // fire during static teardown)
     static SpanCollector *g = new SpanCollector();
     return *g;
 }
@@ -34,28 +36,28 @@ SpanCollector::nowUs() const
 void
 SpanCollector::append(TraceEvent event)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent>
 SpanCollector::events() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return events_;
 }
 
 std::size_t
 SpanCollector::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return events_.size();
 }
 
 void
 SpanCollector::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     events_.clear();
 }
 

@@ -30,9 +30,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace laser::obs {
 
@@ -82,8 +83,8 @@ class SpanCollector
 
     std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point origin_;
-    mutable std::mutex mu_;
-    std::vector<TraceEvent> events_;
+    mutable util::Mutex mu_;
+    std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 /**

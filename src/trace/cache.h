@@ -57,9 +57,9 @@ struct CacheEntry
  * kTraceVersion) is Ok, with the version reported through @p version
  * when non-null.
  */
-TraceStatus readTraceHeader(const std::string &path,
-                            std::uint64_t *config_hash,
-                            std::uint32_t *version = nullptr);
+[[nodiscard]] TraceStatus readTraceHeader(
+    const std::string &path, std::uint64_t *config_hash,
+    std::uint32_t *version = nullptr);
 
 /**
  * Inventory @p dir's trace files (*.ltrace), oldest mtime first —
@@ -67,7 +67,8 @@ TraceStatus readTraceHeader(const std::string &path,
  * files that vanish mid-listing (concurrent gc) are skipped rather
  * than reported with garbage sizes.
  */
-std::vector<CacheEntry> listTraceCache(const std::string &dir);
+[[nodiscard]] std::vector<CacheEntry> listTraceCache(
+    const std::string &dir);
 
 /** Outcome of one gc pass. */
 struct CacheGcResult
@@ -93,8 +94,8 @@ struct CacheGcResult
  * concurrent disk hit just used it, so it is no longer the LRU victim
  * the listing claimed.
  */
-CacheGcResult gcTraceCache(const std::string &dir,
-                           std::uint64_t max_bytes);
+[[nodiscard]] CacheGcResult gcTraceCache(const std::string &dir,
+                                         std::uint64_t max_bytes);
 
 /**
  * The gc pass over a caller-supplied listing (gcTraceCache() is this
@@ -102,8 +103,8 @@ CacheGcResult gcTraceCache(const std::string &dir,
  * window can be exercised deterministically in tests: mutate the
  * directory after building @p entries, then run the pass.
  */
-CacheGcResult gcTraceCacheFrom(const std::vector<CacheEntry> &entries,
-                               std::uint64_t max_bytes);
+[[nodiscard]] CacheGcResult gcTraceCacheFrom(
+    const std::vector<CacheEntry> &entries, std::uint64_t max_bytes);
 
 /** Outcome of migrating one trace file to the current format. */
 struct MigrateFileResult
@@ -125,7 +126,8 @@ struct MigrateFileResult
  * rewritten in place. The write is atomic (temp + rename), so a crash
  * mid-migration leaves the original readable.
  */
-MigrateFileResult migrateTraceFile(const std::string &path);
+[[nodiscard]] MigrateFileResult migrateTraceFile(
+    const std::string &path);
 
 /** Outcome of one cache-wide migration pass. */
 struct CacheMigrateResult
@@ -139,7 +141,8 @@ struct CacheMigrateResult
 };
 
 /** migrateTraceFile() over every *.ltrace in @p dir. */
-CacheMigrateResult migrateTraceCache(const std::string &dir);
+[[nodiscard]] CacheMigrateResult migrateTraceCache(
+    const std::string &dir);
 
 } // namespace laser::trace
 

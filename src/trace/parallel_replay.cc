@@ -59,6 +59,14 @@ ParallelReplayer::ParallelReplayer(const TraceReplayer &env, Options opt)
     // cursor, so a file-backed replay holds one decoded block per shard
     // rather than the materialized trace. Shard pipelines share the
     // replayer's immutable context; each owns only its state.
+    //
+    // Deliberately lock-free: shard s writes only states[s],
+    // shard_seconds[s] and shard_status[s] — disjoint elements of
+    // vectors sized before the fan-out — and the merge below reads them
+    // only after parallelFor returns, whose batch-completion handshake
+    // (util/thread_pool.h) is the synchronization point. There is no
+    // shared mutable state to GUARDED_BY here; adding any requires a
+    // util::Mutex and an annotation (see CONTRIBUTING.md).
     ReplayMetrics &metrics = ReplayMetrics::get();
     metrics.digests.inc();
     std::vector<detect::DetectorState> states(shards_);

@@ -62,7 +62,10 @@ class RecordCursor
     virtual bool next(pebs::PebsRecord *rec) = 0;
 
     /** Ok after a clean end; a typed error if decoding failed. */
-    virtual TraceStatus status() const { return TraceStatus::Ok; }
+    [[nodiscard]] virtual TraceStatus status() const
+    {
+        return TraceStatus::Ok;
+    }
 
     /** Push every remaining record into @p sink; returns the count. */
     std::uint64_t drain(analysis::RecordSink &sink);

@@ -198,10 +198,10 @@ class TraceWriter : public analysis::RecordSink
     void onRecord(const pebs::PebsRecord &rec) override { append(rec); }
 
     /** Complete file image: header + payload + checksum trailer. */
-    std::vector<std::uint8_t> finalize() const;
+    [[nodiscard]] std::vector<std::uint8_t> finalize() const;
 
     /** Write the file image atomically (temp file + rename). */
-    TraceStatus writeFile(const std::string &path) const;
+    [[nodiscard]] TraceStatus writeFile(const std::string &path) const;
 
     /** False once an appended record's cycle went backwards. */
     bool monotonic() const { return monotonic_; }
@@ -226,7 +226,8 @@ class TraceWriter : public analysis::RecordSink
 };
 
 /** Convenience: encode and write a whole trace. */
-TraceStatus writeTraceFile(const Trace &trace, const std::string &path);
+[[nodiscard]] TraceStatus writeTraceFile(const Trace &trace,
+                                         const std::string &path);
 
 /**
  * Encode @p trace as an older format version (1 or 2) — the row-wise
@@ -246,9 +247,10 @@ std::vector<std::uint8_t> encodeLegacyTrace(const Trace &trace,
 class TraceReader
 {
   public:
-    TraceStatus parse(const std::uint8_t *data, std::size_t size);
-    TraceStatus parse(const std::vector<std::uint8_t> &bytes);
-    TraceStatus readFile(const std::string &path);
+    [[nodiscard]] TraceStatus parse(const std::uint8_t *data,
+                                    std::size_t size);
+    [[nodiscard]] TraceStatus parse(const std::vector<std::uint8_t> &bytes);
+    [[nodiscard]] TraceStatus readFile(const std::string &path);
 
     const Trace &trace() const { return trace_; }
     /** Move the parsed trace out (reader resets to empty). */
@@ -259,14 +261,14 @@ class TraceReader
     const std::string &error() const { return error_; }
 
   private:
-    TraceStatus fail(TraceStatus status, std::string detail);
-    TraceStatus parseLegacyRecords(const std::uint8_t *payload,
-                                   std::size_t payload_size,
-                                   std::size_t meta_size,
-                                   std::uint32_t version);
-    TraceStatus parseColumnarRecords(const std::uint8_t *payload,
-                                     std::size_t payload_size,
-                                     std::size_t meta_size);
+    [[nodiscard]] TraceStatus fail(TraceStatus status,
+                                   std::string detail);
+    [[nodiscard]] TraceStatus parseLegacyRecords(
+        const std::uint8_t *payload, std::size_t payload_size,
+        std::size_t meta_size, std::uint32_t version);
+    [[nodiscard]] TraceStatus parseColumnarRecords(
+        const std::uint8_t *payload, std::size_t payload_size,
+        std::size_t meta_size);
 
     Trace trace_;
     std::uint32_t version_ = 0;
@@ -289,18 +291,19 @@ struct HeaderInfo
  * seekable TraceFile and the cache's header-only inventory so all
  * three reject foreign files identically.
  */
-TraceStatus parseTraceHeader(const std::uint8_t *data, std::size_t size,
-                             HeaderInfo *out, std::string *err);
+[[nodiscard]] TraceStatus parseTraceHeader(const std::uint8_t *data,
+                                           std::size_t size,
+                                           HeaderInfo *out,
+                                           std::string *err);
 
 /**
  * Parse the config + results sections at the start of a payload
  * (version-dependent: v1 lacks the VTune/Sheriff config blocks).
  * On Ok, *consumed is the meta-section size in bytes.
  */
-TraceStatus parseMetaSections(const std::uint8_t *payload,
-                              std::size_t size, std::uint32_t version,
-                              TraceMeta *meta, std::size_t *consumed,
-                              std::string *err);
+[[nodiscard]] TraceStatus parseMetaSections(
+    const std::uint8_t *payload, std::size_t size, std::uint32_t version,
+    TraceMeta *meta, std::size_t *consumed, std::string *err);
 
 } // namespace detail
 

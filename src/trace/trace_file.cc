@@ -94,7 +94,7 @@ class FileCursor : public RecordCursor
         return false;
     }
 
-    TraceStatus status() const override { return status_; }
+    [[nodiscard]] TraceStatus status() const override { return status_; }
 
   private:
     bool

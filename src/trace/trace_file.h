@@ -54,10 +54,10 @@ class TraceFile : public RecordSource
     TraceFile &operator=(const TraceFile &) = delete;
 
     /** Map @p path read-only and validate header + index + meta. */
-    TraceStatus open(const std::string &path);
+    [[nodiscard]] TraceStatus open(const std::string &path);
 
     /** Adopt a complete file image instead of mapping a file. */
-    TraceStatus openBytes(std::vector<std::uint8_t> bytes);
+    [[nodiscard]] TraceStatus openBytes(std::vector<std::uint8_t> bytes);
 
     bool isOpen() const { return open_; }
     /** Detail message for the last non-Ok open ("" after Ok). */
@@ -84,13 +84,14 @@ class TraceFile : public RecordSource
      * records). Equivalent to a full TraceReader parse minus the
      * whole-payload checksum (block checksums cover the same bytes).
      */
-    TraceStatus readAll(Trace *out) const;
+    [[nodiscard]] TraceStatus readAll(Trace *out) const;
 
   private:
     friend class FileCursor;
 
-    TraceStatus fail(TraceStatus status, std::string detail);
-    TraceStatus validate();
+    [[nodiscard]] TraceStatus fail(TraceStatus status,
+                                   std::string detail);
+    [[nodiscard]] TraceStatus validate();
     void unmap();
 
     /** Start of the payload within the mapped image. */

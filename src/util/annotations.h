@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotation macros.
+ *
+ * Clang's `-Wthread-safety` analysis proves at compile time that every
+ * access to a `GUARDED_BY(mu)` member happens with `mu` held, on every
+ * control-flow path — not just the interleavings a TSan run happens to
+ * schedule. The macros below expand to the corresponding Clang
+ * attributes and to nothing on other compilers, so annotated code
+ * builds everywhere and is *checked* wherever Clang builds it (the CI
+ * `static-analysis` job, or locally with
+ * `cmake -DLASER_THREAD_SAFETY=ON` under clang++).
+ *
+ * Usage is the standard capability vocabulary (the spelling Abseil and
+ * the Clang documentation use):
+ *
+ *   - annotate shared state with `GUARDED_BY(mu_)`;
+ *   - annotate functions that must be called with a lock held with
+ *     `REQUIRES(mu_)`;
+ *   - lock through `util::Mutex` / `util::MutexLock` (util/mutex.h),
+ *     whose operations carry `ACQUIRE`/`RELEASE` so the analysis can
+ *     track them (raw `std::mutex` is banned by `laser_lint`);
+ *   - mark deliberate lock-free fast paths with
+ *     `NO_THREAD_SAFETY_ANALYSIS` *plus a comment justifying why the
+ *     access is safe* (e.g. synchronized by `std::call_once` or by a
+ *     thread-pool batch barrier).
+ *
+ * New shared state must be annotated; see CONTRIBUTING.md.
+ */
+
+#ifndef LASER_UTIL_ANNOTATIONS_H
+#define LASER_UTIL_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LASER_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef LASER_THREAD_ANNOTATION_
+#define LASER_THREAD_ANNOTATION_(x) // no-op off Clang
+#endif
+
+/** A type that represents a lock (util::Mutex). */
+#define CAPABILITY(x) LASER_THREAD_ANNOTATION_(capability(x))
+
+/** An RAII type that holds a capability for its lifetime. */
+#define SCOPED_CAPABILITY LASER_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define GUARDED_BY(x) LASER_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define PT_GUARDED_BY(x) LASER_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define REQUIRES(...)                                                    \
+    LASER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function callable only with the capabilities held shared. */
+#define REQUIRES_SHARED(...)                                             \
+    LASER_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability (and does not release it). */
+#define ACQUIRE(...)                                                     \
+    LASER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define RELEASE(...)                                                     \
+    LASER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns @p ret. */
+#define TRY_ACQUIRE(...)                                                 \
+    LASER_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the capabilities held. */
+#define EXCLUDES(...) LASER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Assert (at runtime) that the capability is held. */
+#define ASSERT_CAPABILITY(x) LASER_THREAD_ANNOTATION_(assert_capability(x))
+
+/** Function returning a reference to the capability guarding it. */
+#define RETURN_CAPABILITY(x) LASER_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Opt a function body out of the analysis. Reserved for deliberate
+ * lock-free fast paths; every use must carry a justification comment.
+ */
+#define NO_THREAD_SAFETY_ANALYSIS                                        \
+    LASER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // LASER_UTIL_ANNOTATIONS_H

@@ -7,6 +7,11 @@
  * so a pool of N workers applies N+1 threads to a batch and nested
  * parallelFor calls cannot deadlock.
  *
+ * All shared state (the task queue, the stop flag, a batch's completion
+ * counters) is GUARDED_BY its mutex and locked through util::MutexLock,
+ * so Clang's -Wthread-safety analysis proves the locking discipline at
+ * compile time (see util/annotations.h).
+ *
  * Observability (global obs registry):
  *   pool.tasks_completed        counter, one per executed task
  *   pool.exceptions_suppressed  counter, batch exceptions beyond the
@@ -16,24 +21,27 @@
  *   pool.task_seconds           histogram, task run time
  *   pool.worker_idle_seconds    histogram, per idle episode (a worker
  *                               waking from an empty queue)
+ * Metric recording happens outside the pool lock: the striped
+ * counters/histograms are lock-free, but keeping them out of the
+ * critical section keeps the lock hold times bounded by queue work
+ * alone.
  */
 
 #ifndef LASER_UTIL_THREAD_POOL_H
 #define LASER_UTIL_THREAD_POOL_H
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace laser::util {
 
@@ -56,10 +64,10 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             stop_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         for (std::thread &t : threads_)
             t.join();
     }
@@ -85,17 +93,17 @@ class ThreadPool
 
         struct Batch
         {
-            std::mutex mu;
-            std::condition_variable done;
-            std::size_t remaining;
-            std::exception_ptr error;
-            std::size_t suppressed = 0;
+            explicit Batch(std::size_t n_tasks) : remaining(n_tasks) {}
+            Mutex mu;
+            CondVar done;
+            std::size_t remaining GUARDED_BY(mu);
+            std::exception_ptr error GUARDED_BY(mu);
+            std::size_t suppressed GUARDED_BY(mu) = 0;
         };
-        auto batch = std::make_shared<Batch>();
-        batch->remaining = n;
+        auto batch = std::make_shared<Batch>(n);
 
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             for (std::size_t i = 0; i < n; ++i) {
                 // fn is captured by reference: parallelFor does not
                 // return until every task has finished running it.
@@ -103,30 +111,34 @@ class ThreadPool
                                       try {
                                           fn(i);
                                       } catch (...) {
-                                          std::lock_guard<std::mutex> lk(
-                                              batch->mu);
+                                          MutexLock lk(&batch->mu);
                                           if (!batch->error)
                                               batch->error =
                                                   std::current_exception();
                                           else
                                               ++batch->suppressed;
                                       }
-                                      std::lock_guard<std::mutex> lk(
-                                          batch->mu);
-                                      if (--batch->remaining == 0)
-                                          batch->done.notify_all();
+                                      bool last = false;
+                                      {
+                                          MutexLock lk(&batch->mu);
+                                          last = --batch->remaining == 0;
+                                      }
+                                      if (last)
+                                          batch->done.notifyAll();
                                   },
                                   clock::now()});
             }
-            queueDepthGauge().add(double(n));
         }
-        cv_.notify_all();
+        // Advisory gauge; updated just after the enqueue critical
+        // section rather than inside it.
+        queueDepthGauge().add(double(n));
+        cv_.notifyAll();
 
         // Help drain until nothing is queued, then wait for stragglers.
         for (;;) {
             Task task;
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(&mu_);
                 if (!queue_.empty()) {
                     task = std::move(queue_.front());
                     queue_.pop_front();
@@ -141,8 +153,9 @@ class ThreadPool
         std::size_t suppressed = 0;
         std::exception_ptr error;
         {
-            std::unique_lock<std::mutex> lk(batch->mu);
-            batch->done.wait(lk, [&] { return batch->remaining == 0; });
+            MutexLock lk(&batch->mu);
+            while (batch->remaining != 0)
+                batch->done.wait(batch->mu);
             error = batch->error;
             suppressed = batch->suppressed;
         }
@@ -215,33 +228,39 @@ class ThreadPool
             obs::Registry::global().histogram("pool.worker_idle_seconds");
         for (;;) {
             Task task;
+            bool stopping = false;
+            double idle = 0.0;
             {
-                std::unique_lock<std::mutex> lock(mu_);
+                MutexLock lock(&mu_);
                 const auto idle_start = clock::now();
-                cv_.wait(lock,
-                         [this] { return stop_ || !queue_.empty(); });
-                const double idle =
-                    std::chrono::duration<double>(clock::now() -
-                                                  idle_start)
-                        .count();
-                // Sub-microsecond "waits" are just the predicate check
-                // on a busy queue, not idleness.
-                if (idle >= 1e-6)
-                    idle_seconds.record(idle);
-                if (stop_ && queue_.empty())
-                    return;
-                task = std::move(queue_.front());
-                queue_.pop_front();
+                while (!stop_ && queue_.empty())
+                    cv_.wait(mu_);
+                idle = std::chrono::duration<double>(clock::now() -
+                                                     idle_start)
+                           .count();
+                if (stop_ && queue_.empty()) {
+                    stopping = true;
+                } else {
+                    task = std::move(queue_.front());
+                    queue_.pop_front();
+                }
             }
+            // Sub-microsecond "waits" are just the predicate check on a
+            // busy queue, not idleness. Recorded outside the pool lock.
+            if (idle >= 1e-6)
+                idle_seconds.record(idle);
+            if (stopping)
+                return;
             runTask(task);
         }
     }
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Task> queue_;
+    Mutex mu_;
+    CondVar cv_;
+    std::deque<Task> queue_ GUARDED_BY(mu_);
+    bool stop_ GUARDED_BY(mu_) = false;
+    /** Written only by the constructor; joined by the destructor. */
     std::vector<std::thread> threads_;
-    bool stop_ = false;
 };
 
 } // namespace laser::util

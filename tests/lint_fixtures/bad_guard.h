@@ -1,0 +1,9 @@
+// Fixture: include guard present but wrong name for the path
+// (expected LASER_LINT_FIXTURES_BAD_GUARD_H).
+
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+int fixtureValue();
+
+#endif // WRONG_GUARD_NAME_H

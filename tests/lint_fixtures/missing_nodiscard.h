@@ -1,0 +1,26 @@
+// Fixture: nodiscard-status violations in a header. The include guard
+// is canonical so only the nodiscard rule fires.
+
+#ifndef LASER_LINT_FIXTURES_MISSING_NODISCARD_H
+#define LASER_LINT_FIXTURES_MISSING_NODISCARD_H
+
+struct TraceStatus;
+struct MigrateFileResult;
+
+TraceStatus unmarked();               // FLAG line 10
+MigrateFileResult alsoUnmarked(int);  // FLAG line 11
+
+[[nodiscard]] TraceStatus marked();            // ok
+[[nodiscard]] inline TraceStatus alsoMarked(); // ok
+
+struct Api
+{
+    [[nodiscard]] virtual TraceStatus status() const = 0; // ok
+    TraceStatus memberUnmarked(); // FLAG line 19
+    virtual ~Api() = default;
+};
+
+// A parameter of status type is not a declaration of one:
+void consume(TraceStatus status); // ok
+
+#endif // LASER_LINT_FIXTURES_MISSING_NODISCARD_H

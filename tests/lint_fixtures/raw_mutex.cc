@@ -1,0 +1,30 @@
+// Fixture: raw-mutex violations. Only the std:: qualified names fire;
+// a type merely named mutex in another namespace does not.
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;                    // FLAG line 8
+std::condition_variable *g_cv;      // FLAG line 9
+
+void
+locked()
+{
+    std::lock_guard<std::mutex> lock(g_mu); // FLAG line 14 (x2)
+}
+
+void
+suppressed()
+{
+    // laser-lint: allow(raw-mutex) fixture: adopting a legacy API
+    std::unique_lock<std::mutex> lk(g_mu, std::defer_lock); // fully suppressed
+}
+
+struct mutex
+{
+}; // a non-std type named mutex is fine
+
+mutex not_flagged;
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: raw-new-delete violations and the exempt forms.
+
+#include <cstddef>
+
+struct Thing
+{
+    Thing(const Thing &) = delete;            // exempt: deleted member
+    Thing &operator=(const Thing &) = delete; // exempt
+    void *operator new(std::size_t);          // exempt: operator new decl
+    void operator delete(void *);             // exempt
+};
+
+void
+violations()
+{
+    int *p = new int(7); // FLAG line 16
+    delete p;            // FLAG line 17
+}
+
+void
+suppressed()
+{
+    // laser-lint: allow(raw-new-delete) fixture: intentional leak
+    int *q = new int(9);
+    (void)q;
+}
+
+// "new" inside comments and strings must not fire:
+// new delete new
+const char *kText = "new delete";

@@ -1,0 +1,32 @@
+// Fixture: deliberate unchecked-status violations (and the shapes that
+// must NOT be flagged). tests/test_lint.cc asserts the exact findings;
+// this directory is excluded from the real lint run by collectFiles().
+
+struct TraceStatus;
+TraceStatus save();
+TraceStatus load(int n);
+
+struct Writer
+{
+    TraceStatus flush();
+};
+
+void
+violations(Writer &w)
+{
+    save();     // FLAG line 17
+    load(1);    // FLAG line 18
+    w.flush();  // FLAG line 19
+}
+
+void
+cleanUses(Writer &w)
+{
+    TraceStatus st = save();  // assigned: not flagged
+    (void)st;
+    if (load(2) == load(3)) { // branched on: not flagged
+    }
+    // laser-lint: allow(unchecked-status) fixture: suppressed on purpose
+    w.flush();
+    save(); // laser-lint: allow(unchecked-status) trailing form
+}

@@ -1,0 +1,13 @@
+// Fixture: header-hygiene violation (using namespace at header scope).
+
+#ifndef LASER_LINT_FIXTURES_USING_NAMESPACE_H
+#define LASER_LINT_FIXTURES_USING_NAMESPACE_H
+
+#include <vector>
+
+using namespace std; // FLAG line 8
+
+// A using-declaration is fine:
+using std::vector;
+
+#endif // LASER_LINT_FIXTURES_USING_NAMESPACE_H

@@ -47,7 +47,7 @@ struct Checker
     std::vector<std::string> problems;
 
     void
-    fail(const std::string &what)
+    flag(const std::string &what)
     {
         problems.push_back(what);
     }
@@ -57,7 +57,7 @@ struct Checker
     {
         const Json *v = doc.find(key);
         if (!v)
-            fail(std::string("missing required member \"") + key + "\"");
+            flag(std::string("missing required member \"") + key + "\"");
         return v;
     }
 
@@ -68,7 +68,7 @@ struct Checker
             return;
         const double d = v->asNumber(-1.0);
         if (!v->isNumber() || d < 0 || d != std::floor(d))
-            fail(std::string("\"") + key +
+            flag(std::string("\"") + key +
                  "\" must be a non-negative integer");
     }
 };
@@ -91,26 +91,26 @@ validate(const std::string &path)
 
     Checker ck;
     if (!doc.isObject()) {
-        ck.fail("root must be an object");
+        ck.flag("root must be an object");
     } else {
         const Json *ver = ck.requireMember(doc, "schema_version");
         if (ver && ver->asNumber(-1.0) !=
                        double(laser::obs::kBenchSchemaVersion))
-            ck.fail("\"schema_version\" must be " +
+            ck.flag("\"schema_version\" must be " +
                     std::to_string(laser::obs::kBenchSchemaVersion));
 
         const Json *bench = ck.requireMember(doc, "bench");
         if (bench && (!bench->isString() || bench->asString().empty()))
-            ck.fail("\"bench\" must be a non-empty string");
+            ck.flag("\"bench\" must be a non-empty string");
 
         const Json *wall = ck.requireMember(doc, "wall_seconds");
         if (wall && (!wall->isNumber() || wall->asNumber(-1.0) < 0))
-            ck.fail("\"wall_seconds\" must be a number >= 0");
+            ck.flag("\"wall_seconds\" must be a number >= 0");
 
         const Json *sweep = ck.requireMember(doc, "sweep");
         if (sweep) {
             if (!sweep->isObject()) {
-                ck.fail("\"sweep\" must be an object");
+                ck.flag("\"sweep\" must be an object");
             } else {
                 for (const char *key :
                      {"machine_runs", "memory_cache_hits",
@@ -122,19 +122,19 @@ validate(const std::string &path)
 
         const Json *results = ck.requireMember(doc, "results");
         if (results && !results->isObject())
-            ck.fail("\"results\" must be an object");
+            ck.flag("\"results\" must be an object");
 
         const Json *metrics = ck.requireMember(doc, "metrics");
         if (metrics) {
             if (!metrics->isObject()) {
-                ck.fail("\"metrics\" must be an object");
+                ck.flag("\"metrics\" must be an object");
             } else {
                 for (const char *key :
                      {"counters", "gauges", "histograms"}) {
                     const Json *section =
                         ck.requireMember(*metrics, key);
                     if (section && !section->isObject())
-                        ck.fail(std::string("\"metrics.") + key +
+                        ck.flag(std::string("\"metrics.") + key +
                                 "\" must be an object");
                 }
             }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * laser_lint: the repository's static-analysis gate (see src/lint/lint.h
+ * for the rule engine and the rule list).
+ *
+ * Usage:
+ *   laser_lint [--root DIR] [--rules a,b] [PATH...]
+ *   laser_lint --list-rules
+ *
+ * With no PATH arguments the tool lints the whole tree under --root
+ * (default: the current directory): every *.h / *.cc under src/ tools/
+ * bench/ tests/, minus tests/lint_fixtures/. Explicit PATHs are linted
+ * as given (relative to --root).
+ *
+ * Output is one machine-readable line per finding:
+ *   file:line: rule: message
+ *
+ * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--rules a,b] [PATH...]\n"
+                 "       %s --list-rules\n",
+                 argv0, argv0);
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    laser::lint::Options options;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const laser::lint::RuleInfo &r : laser::lint::rules())
+                std::printf("%-18s %s\n", r.name, r.summary);
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            root = argv[i];
+        } else if (arg == "--rules") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            options.enabledRules = splitCommas(argv[i]);
+            for (const std::string &r : options.enabledRules)
+                if (!laser::lint::isRule(r)) {
+                    std::fprintf(stderr,
+                                 "%s: unknown rule '%s' (see "
+                                 "--list-rules)\n",
+                                 argv[0], r.c_str());
+                    return 2;
+                }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (paths.empty())
+        paths = laser::lint::collectFiles(root);
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "%s: no lintable files under '%s' (expected src/ "
+                     "tools/ bench/ tests/)\n",
+                     argv[0], root.c_str());
+        return 2;
+    }
+
+    std::vector<laser::lint::SourceFile> files;
+    files.reserve(paths.size());
+    for (const std::string &p : paths) {
+        laser::lint::SourceFile f;
+        if (!laser::lint::loadFile(root, p, &f)) {
+            std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0],
+                         p.c_str());
+            return 2;
+        }
+        files.push_back(std::move(f));
+    }
+
+    const std::vector<laser::lint::Finding> findings =
+        laser::lint::lintFiles(files, options);
+    for (const laser::lint::Finding &f : findings)
+        std::printf("%s\n", f.str().c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr, "laser_lint: %zu finding(s) in %zu file(s)\n",
+                     findings.size(), files.size());
+        return 1;
+    }
+    return 0;
+}
