@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/ledger.h"
 #include "obs/span.h"
 
 namespace laser::obs {
@@ -34,6 +35,15 @@ preparedMetricsDir()
     return dir;
 }
 
+/** Resolved span-trace path (LASER_TRACE_EVENTS overrides the dir). */
+std::string
+traceEventPath(const std::string &dir, const std::string &name)
+{
+    const char *override_path = std::getenv("LASER_TRACE_EVENTS");
+    return override_path ? override_path
+                         : dir + "/TRACE_" + name + ".json";
+}
+
 } // namespace
 
 std::string
@@ -57,13 +67,8 @@ exportProcessMetrics(const std::string &name, const Registry &reg)
                                 snap.toPrometheus());
 
     const SpanCollector &spans = SpanCollector::global();
-    if (spans.eventCount() > 0) {
-        const char *override_path = std::getenv("LASER_TRACE_EVENTS");
-        const std::string trace_path =
-            override_path ? override_path
-                          : dir + "/TRACE_" + name + ".json";
-        ok &= spans.writeFile(trace_path);
-    }
+    if (spans.eventCount() > 0)
+        ok &= spans.writeFile(traceEventPath(dir, name));
     return ok;
 }
 
@@ -100,7 +105,8 @@ bool
 BenchReport::write(const Registry &reg)
 {
     const std::string dir = preparedMetricsDir();
-    if (dir.empty())
+    const std::string ledger = ledgerPath();
+    if (dir.empty() && ledger.empty())
         return false;
 
     Json root = Json::object();
@@ -110,14 +116,42 @@ BenchReport::write(const Registry &reg)
              Json(std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count()));
+    const RunContext ctx = currentRunContext();
+    Json run = Json::object();
+    run.set("git_sha", Json(ctx.gitSha));
+    run.set("config_hash", Json(ctx.configHash));
+    run.set("hostname", Json(ctx.hostname));
+    run.set("unix_time", Json(ctx.unixTime));
+    run.set("cpu_seconds", Json(processCpuSeconds()));
+    root.set("run", std::move(run));
     Json sweep = Json::object();
     sweep.set("machine_runs", Json(machineRuns_));
     sweep.set("memory_cache_hits", Json(memoryCacheHits_));
     sweep.set("disk_cache_hits", Json(diskCacheHits_));
     root.set("sweep", std::move(sweep));
     root.set("results", results_);
+    if (!dir.empty()) {
+        Json artifacts = Json::object();
+        artifacts.set("bench_json", Json(path()));
+        artifacts.set("metrics_json",
+                      Json(dir + "/METRICS_" + name_ + ".json"));
+        artifacts.set("metrics_prom",
+                      Json(dir + "/METRICS_" + name_ + ".prom"));
+        if (SpanCollector::global().eventCount() > 0)
+            artifacts.set("trace_json",
+                          Json(traceEventPath(dir, name_)));
+        root.set("artifacts", std::move(artifacts));
+    }
     root.set("metrics", reg.snapshot().toJson());
 
+    // Run ledger first: it must record the invocation even when the
+    // per-run artifact directory is off or unwritable.
+    if (!ledger.empty() && !appendLedgerRecord(ledger, root))
+        std::fprintf(stderr, "obs: ledger append to %s failed: %s\n",
+                     ledger.c_str(), name_.c_str());
+
+    if (dir.empty())
+        return false;
     const bool ok =
         writeFileAtomicEnough(path(), root.dump(2) + "\n");
     exportProcessMetrics(name_, reg);

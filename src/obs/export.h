@@ -18,17 +18,26 @@
  * in EXPERIMENTS.md):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "bench": "<name>",
  *     "wall_seconds": <number >= 0>,
+ *     "run": {"git_sha": "...", "config_hash": "...",    // v2: run
+ *             "hostname": "...", "unix_time": N,         // context
+ *             "cpu_seconds": <number >= 0>},             // (obs/ledger.h)
  *     "sweep": {"machine_runs": N, "memory_cache_hits": N,
  *               "disk_cache_hits": N},          // all integers >= 0
  *     "results": { ... bench-specific scalars/arrays ... },
+ *     "artifacts": { ... resolved artifact paths ... },  // v2, optional
  *     "metrics": { registry snapshot }
  *   }
  *
- * With no LASER_METRICS_OUT in the environment the whole layer is
- * inert: write() returns false and touches no files.
+ * Independently of LASER_METRICS_OUT, LASER_LEDGER=<file> makes write()
+ * append the same document as one JSONL line to the persistent run
+ * ledger (obs/ledger.h), which tools/laser_report mines for perf
+ * trajectories and regression gating.
+ *
+ * With neither variable in the environment the whole layer is inert:
+ * write() returns false and touches no files.
  */
 
 #ifndef LASER_OBS_EXPORT_H
@@ -44,7 +53,7 @@
 namespace laser::obs {
 
 /** Current BENCH_*.json schema version. */
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
 
 /** $LASER_METRICS_OUT, or "" when telemetry is off. */
 std::string metricsDir();
@@ -73,6 +82,8 @@ class BenchReport
   public:
     explicit BenchReport(std::string name);
 
+    const std::string &name() const { return name_; }
+
     /** Mutable bench-specific section of the report. */
     Json &results() { return results_; }
 
@@ -82,9 +93,11 @@ class BenchReport
                   std::uint64_t disk_cache_hits);
 
     /**
-     * Write BENCH_<name>.json plus the METRICS_/TRACE_ artifacts.
-     * Returns true when the bench file was written (false when
-     * telemetry is disabled or on I/O error).
+     * Write BENCH_<name>.json plus the METRICS_/TRACE_ artifacts, and
+     * append the same document to the run ledger when LASER_LEDGER is
+     * set. Returns true when the bench file was written (false when
+     * LASER_METRICS_OUT is unset or on I/O error; a ledger-only
+     * configuration still appends its record).
      */
     bool write(const Registry &reg = Registry::global());
 

@@ -1,0 +1,232 @@
+#include "obs/ledger.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "util/fd.h"
+#include "util/stats.h"
+
+extern char **environ; // hashed into RunContext::configHash
+
+namespace laser::obs {
+
+namespace {
+
+std::uint64_t
+fnv1a(std::uint64_t h, const char *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * LASER_* variables that name telemetry *destinations* rather than
+ * affecting what a run computes; excluded from the config hash so runs
+ * recorded from different ledger/metrics paths still compare as the
+ * same configuration.
+ */
+bool
+isTelemetryDestination(const char *env)
+{
+    static const char *const kPrefixes[] = {
+        "LASER_LEDGER=",
+        "LASER_METRICS_OUT=",
+        "LASER_TRACE_EVENTS=",
+    };
+    for (const char *prefix : kPrefixes)
+        if (std::strncmp(env, prefix, std::strlen(prefix)) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::string
+ledgerPath()
+{
+    const char *path = std::getenv("LASER_LEDGER");
+    return path ? path : "";
+}
+
+RunContext
+currentRunContext()
+{
+    RunContext ctx;
+
+    const char *sha = std::getenv("LASER_GIT_SHA");
+    if (!sha || !*sha)
+        sha = std::getenv("GITHUB_SHA");
+    ctx.gitSha = (sha && *sha) ? sha : "unknown";
+
+    char host[256] = {};
+    if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0')
+        ctx.hostname = host;
+    else
+        ctx.hostname = "unknown";
+
+    // Configuration fingerprint: FNV-1a over the sorted LASER_*
+    // environment (minus telemetry destinations), so two runs hash
+    // equal exactly when every behavior-affecting knob matches.
+    std::vector<std::string> vars;
+    for (char **env = environ; env && *env; ++env)
+        if (std::strncmp(*env, "LASER_", 6) == 0 &&
+            !isTelemetryDestination(*env))
+            vars.emplace_back(*env);
+    std::sort(vars.begin(), vars.end());
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::string &v : vars) {
+        h = fnv1a(h, v.data(), v.size());
+        h = fnv1a(h, "\n", 1);
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    ctx.configHash = hex;
+
+    ctx.unixTime = static_cast<std::int64_t>(std::time(nullptr));
+    return ctx;
+}
+
+double
+processCpuSeconds()
+{
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    const auto seconds = [](const timeval &tv) {
+        return static_cast<double>(tv.tv_sec) +
+               1e-6 * static_cast<double>(tv.tv_usec);
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+bool
+appendLedgerRecord(const std::string &path, const Json &record)
+{
+    const std::string line = record.dump(0) + "\n";
+
+    util::UniqueFd fd(::open(path.c_str(),
+                             O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                             0644));
+    if (!fd.valid())
+        return false;
+
+    // O_APPEND alone does not guarantee a multi-kilobyte write lands as
+    // one atomic unit; the advisory lock serializes whole lines across
+    // concurrent appenders. Lock failure (e.g. an exotic filesystem)
+    // degrades to the plain O_APPEND best effort.
+    const bool locked = ::flock(fd.get(), LOCK_EX) == 0;
+
+    const char *p = line.data();
+    std::size_t left = line.size();
+    bool ok = true;
+    while (left > 0) {
+        const ssize_t n = ::write(fd.get(), p, left);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            ok = false;
+            break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+
+    if (locked)
+        ::flock(fd.get(), LOCK_UN);
+    return ok;
+}
+
+LedgerReadResult
+readLedger(const std::string &path)
+{
+    LedgerReadResult result;
+    std::ifstream in(path);
+    if (!in) {
+        result.error = "cannot open " + path;
+        return result;
+    }
+    result.ok = true;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        Json record;
+        if (Json::parse(line, &record))
+            result.records.push_back(std::move(record));
+        else
+            ++result.corruptLines; // torn write / foreign line: skip
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------
+
+GateResult
+evaluateGate(std::vector<double> baseline, double candidate,
+             const GateConfig &cfg)
+{
+    GateResult result;
+    result.candidate = candidate;
+    if (baseline.empty())
+        return result; // nothing to compare against: vacuous pass
+
+    if (cfg.window > 0 && baseline.size() > cfg.window)
+        baseline.erase(baseline.begin(),
+                       baseline.end() -
+                           static_cast<std::ptrdiff_t>(cfg.window));
+    result.baselineRuns = baseline.size();
+    result.baselineMedian = median(baseline);
+    result.baselineIqr =
+        quantile(baseline, 0.75) - quantile(baseline, 0.25);
+
+    const double tolerance =
+        std::max({cfg.iqrMult * result.baselineIqr,
+                  cfg.relFloor * result.baselineMedian, cfg.absFloor});
+    result.threshold = result.baselineMedian + tolerance;
+    result.regressed = candidate > result.threshold;
+    return result;
+}
+
+std::vector<std::pair<std::string, double>>
+gatedMetrics(const Json &record)
+{
+    std::vector<std::pair<std::string, double>> out;
+    if (const Json *wall = record.find("wall_seconds");
+        wall && wall->isNumber())
+        out.emplace_back("wall_seconds", wall->asNumber());
+    if (const Json *run = record.find("run"); run && run->isObject())
+        if (const Json *cpu = run->find("cpu_seconds");
+            cpu && cpu->isNumber())
+            out.emplace_back("cpu_seconds", cpu->asNumber());
+    if (const Json *results = record.find("results");
+        results && results->isObject()) {
+        for (const auto &[name, value] : results->members()) {
+            if (!value.isNumber())
+                continue;
+            static const std::string kSuffix = "_seconds";
+            if (name.size() > kSuffix.size() &&
+                name.compare(name.size() - kSuffix.size(),
+                             kSuffix.size(), kSuffix) == 0)
+                out.emplace_back("results." + name, value.asNumber());
+        }
+    }
+    return out;
+}
+
+} // namespace laser::obs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Persistent bench-run ledger plus the noise-aware regression gate that
+ * reads it.
+ *
+ * LASER_LEDGER=<file> makes every BenchReport::write() append one
+ * compact JSONL line — the full schema-v2 BENCH document (see
+ * obs/export.h and EXPERIMENTS.md) — to <file>, independently of
+ * LASER_METRICS_OUT. Concurrent appenders (sharded sweeps, parallel CI
+ * steps) serialize whole lines through an advisory flock, so a ledger
+ * is always a sequence of parseable records; readers skip (and count)
+ * any line that still fails to parse rather than aborting the whole
+ * history.
+ *
+ * The gate (evaluateGate) compares a candidate run against the median
+ * of up to GateConfig::window prior runs, with a tolerance derived from
+ * the baseline's interquartile range instead of a naked percentage:
+ *
+ *   regressed  iff  candidate > median + max(iqrMult * IQR,
+ *                                            relFloor * median,
+ *                                            absFloor)
+ *
+ * The IQR term scales the tolerance with the metric's actually observed
+ * run-to-run noise; the relative and absolute floors keep sub-second
+ * metrics (whose IQR on a quiet machine is ~0) from tripping on
+ * scheduler jitter. tools/laser_report drives this over a ledger and
+ * exits nonzero on any regression, which is what CI gates on.
+ */
+
+#ifndef LASER_OBS_LEDGER_H
+#define LASER_OBS_LEDGER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace laser::obs {
+
+/** $LASER_LEDGER, or "" when the run ledger is off. */
+std::string ledgerPath();
+
+/** Identity of one run, stamped into every schema-v2 record. */
+struct RunContext
+{
+    std::string gitSha;     ///< $LASER_GIT_SHA / $GITHUB_SHA / "unknown"
+    std::string configHash; ///< 16-hex FNV-1a over the LASER_* environment
+    std::string hostname;   ///< gethostname(), "unknown" on failure
+    std::int64_t unixTime = 0; ///< seconds since the epoch
+};
+
+/** Best-effort context for the current process and environment. */
+RunContext currentRunContext();
+
+/** Cumulative process CPU seconds, user + system (getrusage). */
+double processCpuSeconds();
+
+/**
+ * Append @p record to @p path as one compact JSONL line
+ * (O_APPEND + flock, single write). Returns false on I/O failure;
+ * never throws.
+ */
+[[nodiscard]] bool appendLedgerRecord(const std::string &path,
+                                      const Json &record);
+
+struct LedgerReadResult
+{
+    bool ok = false;    ///< the file could be opened
+    std::string error;  ///< failure reason when !ok
+    /** Parsed records in file (= chronological append) order. */
+    std::vector<Json> records;
+    /** Non-empty lines skipped because they failed to parse. */
+    std::size_t corruptLines = 0;
+};
+
+/** Read every record of the JSONL ledger at @p path. */
+LedgerReadResult readLedger(const std::string &path);
+
+// ---------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------
+
+/** Gate parameters (defaults documented in EXPERIMENTS.md). */
+struct GateConfig
+{
+    double iqrMult = 3.0;   ///< baseline-IQR multiples tolerated
+    double relFloor = 0.35; ///< tolerance floor as a fraction of median
+    double absFloor = 0.05; ///< absolute tolerance floor (seconds)
+    std::size_t window = 8; ///< most recent baseline runs considered
+};
+
+/** Verdict for one metric of one bench. */
+struct GateResult
+{
+    std::size_t baselineRuns = 0; ///< samples actually used
+    double baselineMedian = 0.0;
+    double baselineIqr = 0.0;
+    double threshold = 0.0; ///< candidate values above this regress
+    double candidate = 0.0;
+    bool regressed = false;
+};
+
+/**
+ * Evaluate the gate for @p candidate against @p baseline (chronological;
+ * only the trailing GateConfig::window samples are used). An empty
+ * baseline passes vacuously.
+ */
+GateResult evaluateGate(std::vector<double> baseline, double candidate,
+                        const GateConfig &cfg = {});
+
+/**
+ * The lower-is-better duration metrics gated in a ledger record:
+ * "wall_seconds", "cpu_seconds" (from the run context) and every
+ * numeric results.* member whose name ends in "_seconds", as
+ * (metric name, value) pairs in record order.
+ */
+std::vector<std::pair<std::string, double>> gatedMetrics(const Json &record);
+
+} // namespace laser::obs
+
+#endif // LASER_OBS_LEDGER_H

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
@@ -153,6 +154,42 @@ Histogram::data() const
     return out;
 }
 
+void
+Histogram::Data::merge(const Data &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        *this = other;
+        return;
+    }
+    std::vector<std::pair<double, std::uint64_t>> merged;
+    merged.reserve(buckets.size() + other.buckets.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < buckets.size() || j < other.buckets.size()) {
+        if (j >= other.buckets.size() ||
+            (i < buckets.size() &&
+             buckets[i].first < other.buckets[j].first)) {
+            merged.push_back(buckets[i++]);
+        } else if (i >= buckets.size() ||
+                   other.buckets[j].first < buckets[i].first) {
+            merged.push_back(other.buckets[j++]);
+        } else {
+            merged.emplace_back(buckets[i].first,
+                                buckets[i].second +
+                                    other.buckets[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    buckets = std::move(merged);
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+}
+
 double
 Histogram::Data::percentile(double p) const
 {
@@ -290,6 +327,100 @@ Snapshot::toJson() const
     return root;
 }
 
+void
+Snapshot::merge(const Snapshot &other)
+{
+    const auto mergeInto = [](auto *ours, const auto &theirs,
+                              const auto &combine) {
+        for (const auto &[name, value] : theirs) {
+            auto it = std::find_if(
+                ours->begin(), ours->end(),
+                [&name = name](const auto &e) { return e.first == name; });
+            if (it == ours->end())
+                ours->emplace_back(name, value);
+            else
+                combine(&it->second, value);
+        }
+        std::sort(ours->begin(), ours->end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+    };
+    mergeInto(&counters, other.counters,
+              [](std::uint64_t *mine, std::uint64_t theirs) {
+                  *mine += theirs;
+              });
+    mergeInto(&gauges, other.gauges,
+              [](double *mine, double theirs) { *mine = theirs; });
+    mergeInto(&histograms, other.histograms,
+              [](Histogram::Data *mine, const Histogram::Data &theirs) {
+                  mine->merge(theirs);
+              });
+}
+
+bool
+Snapshot::fromJson(const Json &doc, Snapshot *out)
+{
+    const Json *counters_obj = doc.find("counters");
+    const Json *gauges_obj = doc.find("gauges");
+    const Json *hists_obj = doc.find("histograms");
+    if (!counters_obj || !counters_obj->isObject() || !gauges_obj ||
+        !gauges_obj->isObject() || !hists_obj || !hists_obj->isObject())
+        return false;
+
+    Snapshot snap;
+    for (const auto &[name, v] : counters_obj->members())
+        snap.counters.emplace_back(
+            name, static_cast<std::uint64_t>(v.asNumber()));
+    for (const auto &[name, v] : gauges_obj->members())
+        snap.gauges.emplace_back(name, v.asNumber());
+    for (const auto &[name, h] : hists_obj->members()) {
+        Histogram::Data d;
+        if (const Json *v = h.find("count"))
+            d.count = static_cast<std::uint64_t>(v->asNumber());
+        if (const Json *v = h.find("sum"))
+            d.sum = v->asNumber();
+        if (const Json *v = h.find("min"))
+            d.min = v->asNumber();
+        if (const Json *v = h.find("max"))
+            d.max = v->asNumber();
+        if (const Json *buckets = h.find("buckets")) {
+            for (const Json &pair : buckets->items()) {
+                if (pair.items().size() != 2)
+                    continue;
+                // toJson saturates the overflow bucket's +Inf bound to
+                // DBL_MAX (JSON has no Inf); undo that so re-exported
+                // Prometheus text matches the live formatting.
+                double upper = pair.items()[0].asNumber();
+                if (upper >= std::numeric_limits<double>::max())
+                    upper = std::numeric_limits<double>::infinity();
+                d.buckets.emplace_back(
+                    upper, static_cast<std::uint64_t>(
+                               pair.items()[1].asNumber()));
+            }
+        }
+        snap.histograms.emplace_back(name, std::move(d));
+    }
+    *out = std::move(snap);
+    return true;
+}
+
+std::string
+promEscapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
 namespace {
 
 std::string
@@ -336,7 +467,8 @@ Snapshot::toPrometheus() const
         std::uint64_t cum = 0;
         for (const auto &[upper, c] : d.buckets) {
             cum += c;
-            out += pn + "_bucket{le=\"" + promDouble(upper) + "\"} " +
+            out += pn + "_bucket{le=\"" +
+                   promEscapeLabel(promDouble(upper)) + "\"} " +
                    std::to_string(cum) + "\n";
         }
         out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(d.count) +

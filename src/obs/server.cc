@@ -1,0 +1,432 @@
+#include "obs/server.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+
+namespace laser::obs {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+constexpr const char *kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr const char *kTextContentType = "text/plain; charset=utf-8";
+constexpr const char *kJsonContentType = "application/json";
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    default: return "Internal Server Error";
+    }
+}
+
+std::string
+serializeResponse(const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      statusText(resp.status) + "\r\n";
+    out += "Content-Type: ";
+    out += resp.contentType.empty() ? kTextContentType
+                                    : resp.contentType.c_str();
+    out += "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+           "\r\nConnection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+bool
+sendAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+setIoTimeouts(int fd, int seconds)
+{
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/** Case-insensitive header lookup in a \r\n-joined header block. */
+bool
+findHeaderValue(const std::string &headers, const std::string &name,
+                std::string *value)
+{
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+        std::size_t eol = headers.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = headers.size();
+        const std::string line = headers.substr(pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos && colon == name.size()) {
+            bool match = true;
+            for (std::size_t i = 0; i < name.size(); ++i)
+                if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                    std::tolower(static_cast<unsigned char>(name[i]))) {
+                    match = false;
+                    break;
+                }
+            if (match) {
+                std::size_t start = colon + 1;
+                while (start < line.size() && line[start] == ' ')
+                    ++start;
+                *value = line.substr(start);
+                return true;
+            }
+        }
+        pos = eol + 2;
+    }
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// StatsServer
+// ---------------------------------------------------------------------
+
+StatsServer::StatsServer() : StatsServer(Config()) {}
+
+StatsServer::StatsServer(Config cfg) : cfg_(std::move(cfg)) {}
+
+StatsServer::~StatsServer()
+{
+    stop();
+}
+
+bool
+StatsServer::start(std::string *err)
+{
+    if (running_.load()) {
+        if (err)
+            *err = "already running";
+        return false;
+    }
+
+    util::UniqueFd fd(
+        ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+    if (::inet_pton(AF_INET, cfg_.bindAddr.c_str(), &addr.sin_addr) !=
+        1) {
+        if (err)
+            *err = "bad bind address: " + cfg_.bindAddr;
+        return false;
+    }
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (err)
+            *err = std::string("bind: ") + std::strerror(errno);
+        return false;
+    }
+    if (::listen(fd.get(), 128) != 0) {
+        if (err)
+            *err = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+
+    listen_ = std::move(fd);
+    pool_ = std::make_unique<util::ThreadPool>(
+        cfg_.threads > 0 ? cfg_.threads : 8);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    running_.store(true);
+    return true;
+}
+
+void
+StatsServer::stop()
+{
+    if (!running_.load())
+        return;
+    running_.store(false);
+    // Unblocks the acceptor's accept() (returns EINVAL on Linux); the
+    // fd itself stays open until the acceptor has joined, so the loop
+    // never races a reused descriptor number.
+    ::shutdown(listen_.get(), SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    listen_.reset();
+    pool_.reset(); // drains queued handlers, joins the workers
+}
+
+void
+StatsServer::acceptLoop()
+{
+    static Counter &accepted =
+        Registry::global().counter("statsd.connections_accepted");
+    for (;;) {
+        const int conn =
+            ::accept4(listen_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // socket shut down by stop(), or fatal
+        }
+        if (!running_.load()) {
+            util::UniqueFd reject(conn);
+            return;
+        }
+        accepted.inc();
+        pool_->post([this, conn] { handleConnection(conn); });
+    }
+}
+
+void
+StatsServer::handleConnection(int rawFd)
+{
+    util::UniqueFd fd(rawFd);
+    setIoTimeouts(fd.get(), 10);
+
+    std::string buf;
+    std::size_t headerEnd = std::string::npos;
+    char chunk[4096];
+    while (buf.size() < kMaxHeaderBytes) {
+        const ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return; // client went away / timed out
+        buf.append(chunk, static_cast<std::size_t>(n));
+        headerEnd = buf.find("\r\n\r\n");
+        if (headerEnd != std::string::npos)
+            break;
+    }
+    if (headerEnd == std::string::npos) {
+        const std::string resp = serializeResponse(
+            {400, kTextContentType, "malformed request\n"});
+        sendAll(fd.get(), resp.data(), resp.size());
+        return;
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    const std::string headers = buf.substr(0, headerEnd);
+    const std::size_t lineEnd = headers.find("\r\n");
+    const std::string requestLine =
+        headers.substr(0, lineEnd == std::string::npos ? headers.size()
+                                                       : lineEnd);
+    const std::size_t sp1 = requestLine.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : requestLine.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        const std::string resp = serializeResponse(
+            {400, kTextContentType, "malformed request line\n"});
+        sendAll(fd.get(), resp.data(), resp.size());
+        return;
+    }
+    const std::string method = requestLine.substr(0, sp1);
+    const std::string path = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::size_t bodyLen = 0;
+    std::string lenValue;
+    if (findHeaderValue(headers, "Content-Length", &lenValue))
+        bodyLen = static_cast<std::size_t>(
+            std::strtoull(lenValue.c_str(), nullptr, 10));
+    if (bodyLen > kMaxBodyBytes) {
+        const std::string resp = serializeResponse(
+            {413, kTextContentType, "body too large\n"});
+        sendAll(fd.get(), resp.data(), resp.size());
+        return;
+    }
+    std::string body = buf.substr(headerEnd + 4);
+    while (body.size() < bodyLen) {
+        const ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return;
+        body.append(chunk, static_cast<std::size_t>(n));
+    }
+    body.resize(bodyLen);
+
+    const std::string resp =
+        serializeResponse(route(method, path, body));
+    sendAll(fd.get(), resp.data(), resp.size());
+}
+
+HttpResponse
+StatsServer::route(const std::string &method, const std::string &path,
+                   const std::string &body)
+{
+    static Counter &requests =
+        Registry::global().counter("statsd.requests");
+    static Counter &badRequests =
+        Registry::global().counter("statsd.bad_requests");
+    requests.inc();
+
+    if (method == "GET" && path == "/healthz")
+        return {200, kTextContentType, "ok\n"};
+    if (method == "GET" && path == "/metrics")
+        return {200, kPromContentType, mergedSnapshot().toPrometheus()};
+    if (method == "GET" && path == "/snapshot.json")
+        return {200, kJsonContentType,
+                mergedSnapshot().toJson().dump(2) + "\n"};
+    if (path == "/push") {
+        if (method != "POST")
+            return {405, kTextContentType, "use POST\n"};
+        Json doc;
+        std::string err;
+        if (!Json::parse(body, &doc, &err)) {
+            badRequests.inc();
+            return {400, kTextContentType, "invalid JSON: " + err + "\n"};
+        }
+        // Accept a bare snapshot document or anything wrapping one
+        // under "metrics" (e.g. a whole BENCH_*.json).
+        const Json *snapDoc =
+            doc.find("metrics") ? doc.find("metrics") : &doc;
+        Snapshot snap;
+        if (!Snapshot::fromJson(*snapDoc, &snap)) {
+            badRequests.inc();
+            return {400, kTextContentType,
+                    "body is not a metrics snapshot\n"};
+        }
+        std::uint64_t total = 0;
+        {
+            util::MutexLock lock(&mu_);
+            pushed_.merge(snap);
+            total = ++pushCount_;
+        }
+        Json ack = Json::object();
+        ack.set("merged", Json(true));
+        ack.set("pushes", Json(total));
+        return {200, kJsonContentType, ack.dump(0) + "\n"};
+    }
+    return {404, kTextContentType, "not found\n"};
+}
+
+Snapshot
+StatsServer::mergedSnapshot() const
+{
+    Snapshot snap =
+        (cfg_.registry ? *cfg_.registry : Registry::global()).snapshot();
+    util::MutexLock lock(&mu_);
+    snap.merge(pushed_);
+    return snap;
+}
+
+std::uint64_t
+StatsServer::pushCount() const
+{
+    util::MutexLock lock(&mu_);
+    return pushCount_;
+}
+
+// ---------------------------------------------------------------------
+// HTTP client
+// ---------------------------------------------------------------------
+
+bool
+httpRequest(const std::string &host, int port, const std::string &method,
+            const std::string &path, const std::string &body,
+            HttpResponse *out, std::string *err)
+{
+    util::UniqueFd fd(
+        ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    setIoTimeouts(fd.get(), 10);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (err)
+            *err = "bad address: " + host;
+        return false;
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (err)
+            *err = std::string("connect: ") + std::strerror(errno);
+        return false;
+    }
+
+    std::string request = method + " " + path + " HTTP/1.1\r\nHost: " +
+                          host + "\r\nContent-Length: " +
+                          std::to_string(body.size()) +
+                          "\r\nConnection: close\r\n\r\n" + body;
+    if (!sendAll(fd.get(), request.data(), request.size())) {
+        if (err)
+            *err = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+
+    std::string resp;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd.get(), chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            if (err)
+                *err = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0)
+            break; // server closed: response complete
+        resp.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    const std::size_t headerEnd = resp.find("\r\n\r\n");
+    if (resp.compare(0, 9, "HTTP/1.1 ") != 0 ||
+        headerEnd == std::string::npos) {
+        if (err)
+            *err = "malformed response";
+        return false;
+    }
+    out->status = std::atoi(resp.c_str() + 9);
+    const std::string headers = resp.substr(0, headerEnd);
+    std::string contentType;
+    if (findHeaderValue(headers, "Content-Type", &contentType))
+        out->contentType = contentType;
+    out->body = resp.substr(headerEnd + 4);
+    if (err)
+        err->clear();
+    return true;
+}
+
+} // namespace laser::obs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Live metrics service: a small HTTP/1.1 loop over a metrics Registry,
+ * the observability half of the ROADMAP's distributed trace farm
+ * ("a thin server loop in tools/" — tools/laser_statsd wraps this).
+ *
+ * Endpoints:
+ *   GET  /metrics        Prometheus text — byte-identical to the
+ *                        offline exporter (Snapshot::toPrometheus)
+ *   GET  /snapshot.json  merged snapshot as JSON
+ *   GET  /healthz        liveness probe ("ok")
+ *   POST /push           merge a snapshot document (a METRICS_*.json
+ *                        body, or a full BENCH_*.json whose "metrics"
+ *                        member is used) into the served view:
+ *                        counters sum, gauges last-write-wins,
+ *                        histograms merge bucket-wise — how concurrent
+ *                        sweep clients aggregate into one scrape target
+ *
+ * Concurrency: one acceptor thread; each accepted connection is
+ * post()ed onto a util::ThreadPool, so Config::threads connections are
+ * served in parallel and the pushed-state mutation is the only locked
+ * section (annotated util::Mutex, checked by LASER_THREAD_SAFETY and
+ * exercised under TSan in CI).
+ */
+
+#ifndef LASER_OBS_SERVER_H
+#define LASER_OBS_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/fd.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace laser::obs {
+
+/** One parsed HTTP response (client side) or reply (server side). */
+struct HttpResponse
+{
+    int status = 0;
+    std::string contentType;
+    std::string body;
+};
+
+/**
+ * Minimal blocking HTTP/1.1 client for the endpoints above (tests,
+ * laser_statsd push/get). Connects to @p host:@p port, sends one
+ * request, reads to connection close. Returns false (with @p err set
+ * when given) on connect/transport errors; HTTP-level failures return
+ * true with the status in @p out.
+ */
+bool httpRequest(const std::string &host, int port,
+                 const std::string &method, const std::string &path,
+                 const std::string &body, HttpResponse *out,
+                 std::string *err = nullptr);
+
+class StatsServer
+{
+  public:
+    struct Config
+    {
+        std::string bindAddr = "127.0.0.1";
+        int port = 0;    ///< 0 binds an ephemeral port (see port())
+        int threads = 8; ///< connection-handler pool width
+        /** Registry served; nullptr = the process Registry::global(). */
+        Registry *registry = nullptr;
+    };
+
+    StatsServer(); ///< all-default Config
+    explicit StatsServer(Config cfg);
+    ~StatsServer(); ///< stop()s if still running
+
+    StatsServer(const StatsServer &) = delete;
+    StatsServer &operator=(const StatsServer &) = delete;
+
+    /** Bind + listen + spawn the acceptor; false (err set) on failure. */
+    bool start(std::string *err = nullptr);
+
+    /** Unblock the acceptor, drain in-flight handlers, join. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Port actually bound (resolves Config::port == 0). */
+    int port() const { return port_; }
+
+    /** The served view: live registry snapshot merged with all pushes. */
+    Snapshot mergedSnapshot() const;
+
+    /** Snapshots merged via /push so far. */
+    std::uint64_t pushCount() const;
+
+  private:
+    void acceptLoop();
+    void handleConnection(int rawFd);
+    HttpResponse route(const std::string &method, const std::string &path,
+                       const std::string &body);
+
+    Config cfg_;
+    int port_ = 0;
+    std::atomic<bool> running_{false};
+    /**
+     * Listening socket: written by start()/stop() only; the acceptor
+     * thread reads it between those points. stop() shuts the socket
+     * down (unblocking accept) and joins the acceptor before closing,
+     * so the fd value never changes under a concurrent reader.
+     */
+    util::UniqueFd listen_;
+    std::thread acceptor_;
+    std::unique_ptr<util::ThreadPool> pool_;
+
+    mutable util::Mutex mu_;
+    Snapshot pushed_ GUARDED_BY(mu_); ///< accumulated /push state
+    std::uint64_t pushCount_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace laser::obs
+
+#endif // LASER_OBS_SERVER_H

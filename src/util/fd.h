@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RAII ownership for raw POSIX file descriptors (sockets, O_APPEND
+ * ledger fds, ...). The laser_lint raw-fd-close rule flags any bare
+ * close() call under src/obs/, src/util/ and tools/ — descriptors there
+ * must be owned by a UniqueFd so early returns and exceptions cannot
+ * leak them.
+ */
+
+#ifndef LASER_UTIL_FD_H
+#define LASER_UTIL_FD_H
+
+#include <unistd.h>
+#include <utility>
+
+namespace laser::util {
+
+/** Move-only owner of one fd; closes it on destruction/reset. */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+    UniqueFd(UniqueFd &&other) noexcept : fd_(other.release()) {}
+
+    UniqueFd &
+    operator=(UniqueFd &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    ~UniqueFd() { reset(); }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing; returns the fd (or -1). */
+    int release() { return std::exchange(fd_, -1); }
+
+    /** Close the current fd (if any) and adopt @p fd. */
+    void
+    reset(int fd = -1)
+    {
+        if (fd_ >= 0)
+            // laser-lint: allow(raw-fd-close) — the one sanctioned
+            // close site; everything else owns fds through UniqueFd
+            ::close(fd_);
+        fd_ = fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace laser::util
+
+#endif // LASER_UTIL_FD_H

@@ -64,6 +64,21 @@ median(std::vector<double> xs)
 }
 
 double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+double
 minOf(const std::vector<double> &xs)
 {
     return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());

@@ -35,6 +35,13 @@ double stddev(const std::vector<double> &xs);
 /** Median (average of middle two for even sizes); 0 for empty samples. */
 double median(std::vector<double> xs);
 
+/**
+ * Linear-interpolated quantile for @p q in [0, 1] (q=0.5 matches
+ * median); 0 for empty samples. Used by the regression gate's IQR
+ * computation (obs/ledger.h).
+ */
+double quantile(std::vector<double> xs, double q);
+
 /** Minimum; 0 for an empty sample. */
 double minOf(const std::vector<double> &xs);
 

@@ -1,0 +1,41 @@
+// Fixture: raw-fd-close violations and the exempt forms. The rule is
+// path-scoped (src/obs/, src/util/, tools/), so the test lints this
+// content under a synthetic src/obs/ path; under its real
+// tests/lint_fixtures/ path the whole file is out of scope.
+
+#include <unistd.h>
+
+struct Conn
+{
+    int fd;
+    void close(); // exempt: declaration, not the libc call
+    static void close(int fd); // exempt: declaration
+};
+
+void
+violations(Conn &c)
+{
+    close(c.fd);   // FLAG line 18
+    ::close(c.fd); // FLAG line 19
+}
+
+int
+flagged_in_return(int fd)
+{
+    return close(fd); // FLAG line 25
+}
+
+void
+exempt(Conn &c, Conn *p)
+{
+    c.close();        // member call on an owning object
+    p->close();       // likewise through a pointer
+    Conn::close(c.fd); // qualified call, not the libc one
+}
+
+void
+suppressed(int fd)
+{
+    // laser-lint: allow(raw-fd-close) fixture: adopting a legacy API
+    close(fd);
+}

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the bench-run ledger and regression gate (obs/ledger.h):
+ * JSONL append/read round-trips (including escaped newlines, UTF-8
+ * hostnames and 2^53-boundary integers), corrupt-line tolerance, run
+ * context stamping, config-hash sensitivity, and the IQR gate math the
+ * CI regression job relies on — in particular that a 2x slowdown trips
+ * the gate while baseline-level noise does not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/ledger.h"
+
+namespace fs = std::filesystem;
+
+namespace laser::obs {
+namespace {
+
+/** Fresh ledger path under the system temp dir; removes leftovers. */
+fs::path
+freshLedger(const char *name)
+{
+    const fs::path path = fs::temp_directory_path() / name;
+    std::error_code ec;
+    fs::remove(path, ec);
+    return path;
+}
+
+// ---------------------------------------------------------------------
+// Append / read round-trip
+// ---------------------------------------------------------------------
+
+TEST(Ledger, AppendReadRoundTripPreservesOrderAndValues)
+{
+    const fs::path path = freshLedger("laser_ledger_roundtrip.jsonl");
+    for (int i = 0; i < 3; ++i) {
+        Json rec = Json::object();
+        rec.set("bench", Json(std::string("bench_") + char('a' + i)));
+        rec.set("wall_seconds", Json(0.5 + i));
+        ASSERT_TRUE(appendLedgerRecord(path.string(), rec));
+    }
+
+    const LedgerReadResult got = readLedger(path.string());
+    ASSERT_TRUE(got.ok) << got.error;
+    EXPECT_EQ(got.corruptLines, 0u);
+    ASSERT_EQ(got.records.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        const Json *wall = got.records[i].find("wall_seconds");
+        ASSERT_NE(wall, nullptr);
+        EXPECT_DOUBLE_EQ(wall->asNumber(), 0.5 + i);
+    }
+    fs::remove(path);
+}
+
+TEST(Ledger, RecordsAreOneCompactLineEach)
+{
+    // Strings with embedded newlines must not break the one-record-
+    // per-line invariant: the dumper escapes them.
+    const fs::path path = freshLedger("laser_ledger_lines.jsonl");
+    Json rec = Json::object();
+    rec.set("bench", Json(std::string("multi\nline \"name\"")));
+    rec.set("hostname", Json(std::string("b\xC3\xBC\x63her-host"))); // UTF-8
+    ASSERT_TRUE(appendLedgerRecord(path.string(), rec));
+
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 1u);
+
+    const LedgerReadResult got = readLedger(path.string());
+    ASSERT_EQ(got.records.size(), 1u);
+    EXPECT_EQ(got.records[0].find("bench")->asString(),
+              "multi\nline \"name\"");
+    EXPECT_EQ(got.records[0].find("hostname")->asString(),
+              "b\xC3\xBC\x63her-host");
+    fs::remove(path);
+}
+
+TEST(Ledger, BoundaryIntegersSurviveTheRoundTrip)
+{
+    // 2^53 is the largest integer the JSON layer prints exactly.
+    const fs::path path = freshLedger("laser_ledger_ints.jsonl");
+    Json rec = Json::object();
+    rec.set("unix_time", Json(std::uint64_t(9007199254740992ull)));
+    ASSERT_TRUE(appendLedgerRecord(path.string(), rec));
+
+    const LedgerReadResult got = readLedger(path.string());
+    ASSERT_EQ(got.records.size(), 1u);
+    EXPECT_EQ(got.records[0].find("unix_time")->asNumber(),
+              9007199254740992.0);
+    fs::remove(path);
+}
+
+TEST(Ledger, SkipsAndCountsCorruptLines)
+{
+    const fs::path path = freshLedger("laser_ledger_corrupt.jsonl");
+    {
+        std::ofstream out(path);
+        out << "{\"bench\":\"ok1\"}\n"
+            << "{\"bench\":\"torn wri\n" // torn write
+            << "   \n"                   // blank: skipped, not corrupt
+            << "not json at all\n"
+            << "{\"bench\":\"ok2\"}\n";
+    }
+    const LedgerReadResult got = readLedger(path.string());
+    ASSERT_TRUE(got.ok);
+    EXPECT_EQ(got.corruptLines, 2u);
+    ASSERT_EQ(got.records.size(), 2u);
+    EXPECT_EQ(got.records[0].find("bench")->asString(), "ok1");
+    EXPECT_EQ(got.records[1].find("bench")->asString(), "ok2");
+    fs::remove(path);
+}
+
+TEST(Ledger, ReadOfMissingFileReportsError)
+{
+    const LedgerReadResult got =
+        readLedger("/nonexistent/laser/ledger.jsonl");
+    EXPECT_FALSE(got.ok);
+    EXPECT_FALSE(got.error.empty());
+    EXPECT_TRUE(got.records.empty());
+}
+
+TEST(Ledger, AppendToUnopenablePathFails)
+{
+    // A path whose parent is a regular file cannot be created — the
+    // reliable way to force an open failure when tests run as root.
+    const fs::path file = freshLedger("laser_ledger_notdir");
+    std::ofstream(file) << "plain file\n";
+    Json rec = Json::object();
+    EXPECT_FALSE(
+        appendLedgerRecord((file / "sub.jsonl").string(), rec));
+    fs::remove(file);
+}
+
+// ---------------------------------------------------------------------
+// Run context
+// ---------------------------------------------------------------------
+
+TEST(Ledger, RunContextIsFullyPopulated)
+{
+    const RunContext ctx = currentRunContext();
+    EXPECT_FALSE(ctx.gitSha.empty());
+    EXPECT_FALSE(ctx.hostname.empty());
+    EXPECT_GT(ctx.unixTime, 1577836800); // after 2020-01-01
+    ASSERT_EQ(ctx.configHash.size(), 16u);
+    for (char c : ctx.configHash)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << ctx.configHash;
+}
+
+TEST(Ledger, ConfigHashTracksBehaviorKnobsNotTelemetryPaths)
+{
+    const std::string before = currentRunContext().configHash;
+
+    // A behavior-affecting LASER_* knob changes the fingerprint...
+    ASSERT_EQ(setenv("LASER_TEST_KNOB", "42", 1), 0);
+    const std::string withKnob = currentRunContext().configHash;
+    EXPECT_NE(withKnob, before);
+
+    // ...but telemetry destinations are excluded, so pointing the
+    // ledger somewhere else keeps runs comparable.
+    ASSERT_EQ(setenv("LASER_LEDGER", "/tmp/elsewhere.jsonl", 1), 0);
+    EXPECT_EQ(currentRunContext().configHash, withKnob);
+
+    unsetenv("LASER_LEDGER");
+    unsetenv("LASER_TEST_KNOB");
+    EXPECT_EQ(currentRunContext().configHash, before);
+}
+
+TEST(Ledger, ProcessCpuSecondsIsNonNegativeAndMonotonic)
+{
+    const double a = processCpuSeconds();
+    EXPECT_GE(a, 0.0);
+    // Burn a little CPU; the counter must not go backwards.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000000; ++i)
+        sink = sink + i * 1e-9;
+    EXPECT_GE(processCpuSeconds(), a);
+}
+
+// ---------------------------------------------------------------------
+// Gate math
+// ---------------------------------------------------------------------
+
+TEST(Gate, EmptyBaselinePassesVacuously)
+{
+    const GateResult r = evaluateGate({}, 123.0);
+    EXPECT_FALSE(r.regressed);
+    EXPECT_EQ(r.baselineRuns, 0u);
+    EXPECT_DOUBLE_EQ(r.candidate, 123.0);
+}
+
+TEST(Gate, QuietBaselineUsesRelativeFloor)
+{
+    // Identical baseline samples: IQR is 0, so the tolerance is the
+    // relative floor — median + 35%.
+    const std::vector<double> base = {1.0, 1.0, 1.0, 1.0};
+    EXPECT_FALSE(evaluateGate(base, 1.30).regressed);
+    const GateResult r = evaluateGate(base, 1.40);
+    EXPECT_TRUE(r.regressed);
+    EXPECT_DOUBLE_EQ(r.baselineMedian, 1.0);
+    EXPECT_DOUBLE_EQ(r.baselineIqr, 0.0);
+    EXPECT_DOUBLE_EQ(r.threshold, 1.35);
+}
+
+TEST(Gate, TwoXSlowdownAlwaysTripsAQuietGate)
+{
+    // The CI acceptance scenario in unit form: realistic jittery
+    // sub-second baseline, candidate at 2x the median.
+    const std::vector<double> base = {0.98, 1.03, 1.0, 0.99, 1.02,
+                                      1.01, 0.97, 1.0};
+    const GateResult noise = evaluateGate(base, 1.04);
+    EXPECT_FALSE(noise.regressed) << "baseline-level noise must pass";
+    const GateResult slow = evaluateGate(base, 2.0);
+    EXPECT_TRUE(slow.regressed) << "2x the median must regress";
+}
+
+TEST(Gate, NoisyBaselineWidensTheTolerance)
+{
+    // IQR term dominates: sorted {1,2,3,4} -> median 2.5, IQR 1.5,
+    // threshold 2.5 + 3 * 1.5 = 7.
+    const std::vector<double> base = {3.0, 1.0, 4.0, 2.0};
+    const GateResult r = evaluateGate(base, 6.9);
+    EXPECT_FALSE(r.regressed);
+    EXPECT_DOUBLE_EQ(r.baselineMedian, 2.5);
+    EXPECT_DOUBLE_EQ(r.baselineIqr, 1.5);
+    EXPECT_DOUBLE_EQ(r.threshold, 7.0);
+    EXPECT_TRUE(evaluateGate(base, 7.1).regressed);
+}
+
+TEST(Gate, AbsoluteFloorShieldsSubMillisecondMetrics)
+{
+    // A 40x blowup on a 1ms metric is still inside the absolute floor:
+    // scheduler jitter at this scale is not a regression.
+    const std::vector<double> base = {0.001, 0.001, 0.001, 0.001};
+    const GateResult r = evaluateGate(base, 0.04);
+    EXPECT_FALSE(r.regressed);
+    EXPECT_DOUBLE_EQ(r.threshold, 0.051);
+}
+
+TEST(Gate, OnlyTheTrailingWindowCounts)
+{
+    // 12 slow ancient runs followed by 8 fast recent ones: the window
+    // must keep only the recent era, so a candidate at the old speed
+    // regresses instead of hiding behind stale history.
+    std::vector<double> base(12, 10.0);
+    base.insert(base.end(), 8, 1.0);
+    const GateResult r = evaluateGate(base, 10.0);
+    EXPECT_EQ(r.baselineRuns, 8u);
+    EXPECT_DOUBLE_EQ(r.baselineMedian, 1.0);
+    EXPECT_TRUE(r.regressed);
+
+    GateConfig all;
+    all.window = 0; // 0 = unlimited
+    EXPECT_FALSE(evaluateGate(base, 10.0, all).regressed);
+}
+
+TEST(Gate, ConfigKnobsAreHonored)
+{
+    GateConfig cfg;
+    cfg.iqrMult = 1.0;
+    cfg.relFloor = 0.0;
+    cfg.absFloor = 0.0;
+    const std::vector<double> base = {1.0, 2.0, 3.0, 4.0};
+    // tolerance = 1 * IQR = 1.5; threshold = 4.0 exactly at median+IQR
+    const GateResult r = evaluateGate(base, 4.1, cfg);
+    EXPECT_TRUE(r.regressed);
+    EXPECT_DOUBLE_EQ(r.threshold, 4.0);
+    EXPECT_FALSE(evaluateGate(base, 3.9, cfg).regressed);
+}
+
+// ---------------------------------------------------------------------
+// Gated metric extraction
+// ---------------------------------------------------------------------
+
+TEST(Gate, GatedMetricsPicksDurationsOnly)
+{
+    Json rec = Json::object();
+    rec.set("bench", Json(std::string("b")));
+    rec.set("wall_seconds", Json(1.5));
+    Json run = Json::object();
+    run.set("git_sha", Json(std::string("abc")));
+    run.set("cpu_seconds", Json(2.5));
+    rec.set("run", std::move(run));
+    Json results = Json::object();
+    results.set("detect_seconds", Json(0.25));
+    results.set("records", Json(1000));       // not a duration
+    results.set("label", Json(std::string("x"))); // not numeric
+    results.set("replay_seconds", Json(0.75));
+    rec.set("results", std::move(results));
+
+    const auto metrics = gatedMetrics(rec);
+    ASSERT_EQ(metrics.size(), 4u);
+    EXPECT_EQ(metrics[0].first, "wall_seconds");
+    EXPECT_DOUBLE_EQ(metrics[0].second, 1.5);
+    EXPECT_EQ(metrics[1].first, "cpu_seconds");
+    EXPECT_DOUBLE_EQ(metrics[1].second, 2.5);
+    EXPECT_EQ(metrics[2].first, "results.detect_seconds");
+    EXPECT_DOUBLE_EQ(metrics[2].second, 0.25);
+    EXPECT_EQ(metrics[3].first, "results.replay_seconds");
+    EXPECT_DOUBLE_EQ(metrics[3].second, 0.75);
+}
+
+TEST(Gate, GatedMetricsToleratesSchemaV1Records)
+{
+    // v1 records have no "run" object; only wall_seconds qualifies.
+    Json rec = Json::object();
+    rec.set("bench", Json(std::string("old")));
+    rec.set("wall_seconds", Json(3.0));
+    const auto metrics = gatedMetrics(rec);
+    ASSERT_EQ(metrics.size(), 1u);
+    EXPECT_EQ(metrics[0].first, "wall_seconds");
+}
+
+} // namespace
+} // namespace laser::obs

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the live metrics service (obs/server.h): endpoint routing,
+ * push merging, and the PR's headline invariant — GET /metrics is
+ * byte-identical to the offline Prometheus exporter
+ * (Snapshot::toPrometheus), including under >= 8 concurrent scrapers
+ * and pushers. The whole binary runs under TSan in CI's tsan-obs job,
+ * so the concurrency tests double as data-race probes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/server.h"
+
+namespace laser::obs {
+namespace {
+
+/** Private registry with a deterministic set of metrics. */
+void
+populate(Registry *reg)
+{
+    reg->counter("ingest.records").inc(12345);
+    reg->counter("ingest.drops").inc(7);
+    reg->gauge("queue.depth").set(3.5);
+    Histogram &h = reg->histogram("span.seconds");
+    for (double v : {0.001, 0.01, 0.1, 1.0, 10.0})
+        h.record(v);
+}
+
+class ObsServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setEnabled(true);
+        populate(&reg_);
+        StatsServer::Config cfg;
+        cfg.registry = &reg_;
+        server_ = std::make_unique<StatsServer>(std::move(cfg));
+        std::string err;
+        ASSERT_TRUE(server_->start(&err)) << err;
+        ASSERT_GT(server_->port(), 0);
+    }
+
+    void TearDown() override { server_->stop(); }
+
+    HttpResponse
+    get(const std::string &path)
+    {
+        HttpResponse resp;
+        std::string err;
+        EXPECT_TRUE(httpRequest("127.0.0.1", server_->port(), "GET",
+                                path, "", &resp, &err))
+            << err;
+        return resp;
+    }
+
+    HttpResponse
+    post(const std::string &path, const std::string &body)
+    {
+        HttpResponse resp;
+        std::string err;
+        EXPECT_TRUE(httpRequest("127.0.0.1", server_->port(), "POST",
+                                path, body, &resp, &err))
+            << err;
+        return resp;
+    }
+
+    Registry reg_;
+    std::unique_ptr<StatsServer> server_;
+};
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+TEST_F(ObsServerTest, HealthzIsAlive)
+{
+    const HttpResponse resp = get("/healthz");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "ok\n");
+}
+
+TEST_F(ObsServerTest, UnknownPathIs404AndPushRequiresPost)
+{
+    EXPECT_EQ(get("/nope").status, 404);
+    EXPECT_EQ(get("/push").status, 405);
+    EXPECT_EQ(post("/push", "{not json").status, 400);
+    EXPECT_EQ(post("/push", "{\"no\":\"snapshot\"}").status, 400);
+}
+
+TEST_F(ObsServerTest, SnapshotJsonParsesBackToTheSameSnapshot)
+{
+    const HttpResponse resp = get("/snapshot.json");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.contentType, "application/json");
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(resp.body, &doc, &err)) << err;
+    Snapshot back;
+    ASSERT_TRUE(Snapshot::fromJson(doc, &back));
+    EXPECT_EQ(back.toPrometheus(), reg_.snapshot().toPrometheus());
+}
+
+// ---------------------------------------------------------------------
+// The byte-identical invariant
+// ---------------------------------------------------------------------
+
+TEST_F(ObsServerTest, MetricsIsByteIdenticalToOfflineExporter)
+{
+    const std::string expected = reg_.snapshot().toPrometheus();
+    const HttpResponse resp = get("/metrics");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.contentType,
+              "text/plain; version=0.0.4; charset=utf-8");
+    EXPECT_EQ(resp.body, expected);
+}
+
+TEST_F(ObsServerTest, MetricsStaysByteIdenticalUnderConcurrentScrapes)
+{
+    const std::string expected = reg_.snapshot().toPrometheus();
+    constexpr int kScrapers = 8;
+    constexpr int kScrapesEach = 5;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kScrapers);
+    for (int i = 0; i < kScrapers; ++i)
+        threads.emplace_back([&] {
+            for (int j = 0; j < kScrapesEach; ++j) {
+                HttpResponse resp;
+                if (!httpRequest("127.0.0.1", server_->port(), "GET",
+                                 "/metrics", "", &resp) ||
+                    resp.status != 200 || resp.body != expected)
+                    mismatches.fetch_add(1);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Push merging
+// ---------------------------------------------------------------------
+
+TEST_F(ObsServerTest, PushMergesCountersGaugesAndWrappedDocuments)
+{
+    // A bare snapshot document: counters sum into the served view.
+    Registry pusher;
+    pusher.counter("ingest.records").inc(5);
+    pusher.gauge("queue.depth").set(9.0);
+    const std::string bare = pusher.snapshot().toJson().dump(0);
+    HttpResponse resp = post("/push", bare);
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"merged\":true"), std::string::npos);
+    EXPECT_EQ(server_->pushCount(), 1u);
+
+    // A BENCH-style wrapper: the "metrics" member is merged.
+    Json wrapped = Json::object();
+    wrapped.set("bench", Json(std::string("sweep")));
+    Json inner;
+    std::string err;
+    ASSERT_TRUE(Json::parse(bare, &inner, &err)) << err;
+    wrapped.set("metrics", std::move(inner));
+    resp = post("/push", wrapped.dump(0));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(server_->pushCount(), 2u);
+
+    // Served view == offline merge of the same parts, byte for byte.
+    Snapshot expected = reg_.snapshot();
+    expected.merge(pusher.snapshot());
+    expected.merge(pusher.snapshot());
+    EXPECT_EQ(get("/metrics").body, expected.toPrometheus());
+
+    // Counters summed (12345 + 2*5), gauge last-write-wins (9.0).
+    const Snapshot served = server_->mergedSnapshot();
+    ASSERT_EQ(served.counters.size(), 2u);
+    EXPECT_EQ(served.counters[1].first, "ingest.records");
+    EXPECT_EQ(served.counters[1].second, 12355u);
+    ASSERT_EQ(served.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(served.gauges[0].second, 9.0);
+}
+
+TEST_F(ObsServerTest, ConcurrentScrapersAndPushersConverge)
+{
+    constexpr int kScrapers = 8;
+    constexpr int kPushers = 8;
+    constexpr int kPushesEach = 4;
+
+    Registry pusher;
+    pusher.counter("push.count").inc(1);
+    const std::string body = pusher.snapshot().toJson().dump(0);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kScrapers + kPushers);
+    for (int i = 0; i < kPushers; ++i)
+        threads.emplace_back([&] {
+            for (int j = 0; j < kPushesEach; ++j) {
+                HttpResponse resp;
+                if (!httpRequest("127.0.0.1", server_->port(), "POST",
+                                 "/push", body, &resp) ||
+                    resp.status != 200)
+                    failures.fetch_add(1);
+            }
+        });
+    for (int i = 0; i < kScrapers; ++i)
+        threads.emplace_back([&] {
+            for (int j = 0; j < kPushesEach; ++j) {
+                HttpResponse resp;
+                if (!httpRequest("127.0.0.1", server_->port(), "GET",
+                                 "/metrics", "", &resp) ||
+                    resp.status != 200 ||
+                    resp.body.find("laser_ingest_records") ==
+                        std::string::npos)
+                    failures.fetch_add(1);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server_->pushCount(),
+              std::uint64_t(kPushers) * kPushesEach);
+
+    // Once the dust settles the served text must again be byte-equal
+    // to an offline merge of the live snapshot and every push.
+    Snapshot expected = reg_.snapshot();
+    for (int i = 0; i < kPushers * kPushesEach; ++i)
+        expected.merge(pusher.snapshot());
+    EXPECT_EQ(get("/metrics").body, expected.toPrometheus());
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+TEST_F(ObsServerTest, StopIsIdempotentAndRejectsDoubleStart)
+{
+    std::string err;
+    EXPECT_FALSE(server_->start(&err));
+    EXPECT_EQ(err, "already running");
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+    server_->stop(); // second stop is a no-op
+}
+
+TEST(ObsServer, StartFailsOnBadBindAddress)
+{
+    StatsServer::Config cfg;
+    cfg.bindAddr = "not-an-address";
+    StatsServer server(std::move(cfg));
+    std::string err;
+    EXPECT_FALSE(server.start(&err));
+    EXPECT_NE(err.find("bad bind address"), std::string::npos);
+}
+
+TEST(ObsServer, ClientReportsTransportErrors)
+{
+    // Nothing listens on the discard port on a test box.
+    HttpResponse resp;
+    std::string err;
+    EXPECT_FALSE(httpRequest("127.0.0.1", 9, "GET", "/healthz", "",
+                             &resp, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace
+} // namespace laser::obs

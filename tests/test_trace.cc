@@ -15,6 +15,7 @@
 
 #include "core/experiment.h"
 #include "core/sweep_runner.h"
+#include "obs/metrics.h"
 #include "trace/cache.h"
 #include "trace/capture.h"
 #include "trace/replay.h"
@@ -434,6 +435,41 @@ TEST(SweepRunner, ConcurrentRunnersShareOneDiskCache)
     EXPECT_EQ(c.stats().machineRuns, 0u);
     EXPECT_EQ(c.stats().diskCacheHits, defs.size());
     fs::remove_all(dir);
+}
+
+TEST(SweepRunner, UnwritableCacheDirSurfacesWriteFailures)
+{
+    // A cacheDir whose parent is a regular file can never be created —
+    // the reliable way to force write failures when tests run as root
+    // (chmod 000 is a no-op for root). The capture itself must still
+    // succeed; the failure lands in trace.cache.write_failures, the
+    // counter laser_trace's cache-hit summary surfaces with a warning.
+    obs::setEnabled(true);
+    const fs::path file =
+        fs::temp_directory_path() / "laser_cache_notdir";
+    fs::remove_all(file);
+    std::ofstream(file) << "regular file, not a directory\n";
+
+    obs::Counter &failures = obs::Registry::global().counter(
+        "trace.cache.write_failures");
+    const std::uint64_t before = failures.value();
+
+    core::SweepRunner::Config cfg;
+    cfg.cacheDir = (file / "sub").string();
+    core::SweepRunner runner(cfg);
+    const auto *kmeans = workloads::findWorkload("kmeans");
+    const auto trace = runner.capture(*kmeans, CaptureOptions{});
+    ASSERT_NE(trace, nullptr);
+    EXPECT_FALSE(trace->records.empty());
+    EXPECT_EQ(runner.stats().machineRuns, 1u);
+    EXPECT_EQ(failures.value(), before + 1);
+
+    // The file-backed path fails the same way but still serves the
+    // freshly encoded in-memory image.
+    const auto tf = runner.captureFile(*kmeans, CaptureOptions{});
+    ASSERT_NE(tf, nullptr);
+    EXPECT_EQ(failures.value(), before + 2);
+    fs::remove_all(file);
 }
 
 TEST(TraceCache, ListsOldestFirstWithHeaderStatus)

@@ -1,10 +1,12 @@
 /**
  * @file
- * Validator for the BENCH_<name>.json telemetry artifacts (schema v1,
- * documented in EXPERIMENTS.md and obs/export.h). CI runs it over every
- * file the bench-smoke step produces, so a bench that drifts from the
- * schema fails the build rather than silently shipping malformed
- * telemetry.
+ * Validator for the BENCH_<name>.json telemetry artifacts (schema v2,
+ * documented in EXPERIMENTS.md and obs/export.h; v2 adds the "run"
+ * context object and the optional "artifacts" path map). CI runs it
+ * over every file the bench-smoke step produces, so a bench that
+ * drifts from the schema fails the build rather than silently shipping
+ * malformed telemetry. Ledger records (obs/ledger.h) carry the same
+ * document, so a validated BENCH file implies a valid ledger line.
  *
  *     bench_schema_check FILE...
  *     bench_schema_check --dir DIR     # every BENCH_*.json under DIR
@@ -106,6 +108,39 @@ validate(const std::string &path)
         const Json *wall = ck.requireMember(doc, "wall_seconds");
         if (wall && (!wall->isNumber() || wall->asNumber(-1.0) < 0))
             ck.flag("\"wall_seconds\" must be a number >= 0");
+
+        const Json *run = ck.requireMember(doc, "run");
+        if (run) {
+            if (!run->isObject()) {
+                ck.flag("\"run\" must be an object");
+            } else {
+                for (const char *key :
+                     {"git_sha", "config_hash", "hostname"}) {
+                    const Json *v = ck.requireMember(*run, key);
+                    if (v && (!v->isString() || v->asString().empty()))
+                        ck.flag(std::string("\"run.") + key +
+                                "\" must be a non-empty string");
+                }
+                ck.requireNonNegativeInteger(
+                    ck.requireMember(*run, "unix_time"), "run.unix_time");
+                const Json *cpu = ck.requireMember(*run, "cpu_seconds");
+                if (cpu && (!cpu->isNumber() || cpu->asNumber(-1.0) < 0))
+                    ck.flag("\"run.cpu_seconds\" must be a number >= 0");
+            }
+        }
+
+        // "artifacts" is optional (absent in ledger-only runs) but must
+        // be a map of non-empty path strings when present.
+        if (const Json *artifacts = doc.find("artifacts")) {
+            if (!artifacts->isObject()) {
+                ck.flag("\"artifacts\" must be an object");
+            } else {
+                for (const auto &[key, v] : artifacts->members())
+                    if (!v.isString() || v.asString().empty())
+                        ck.flag("\"artifacts." + key +
+                                "\" must be a non-empty path string");
+            }
+        }
 
         const Json *sweep = ck.requireMember(doc, "sweep");
         if (sweep) {

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * laser_report — mine the persistent bench-run ledger (obs/ledger.h,
+ * written when LASER_LEDGER is set) for perf trajectories, regression
+ * gating and HTML reports.
+ *
+ *     laser_report show LEDGER [--bench NAME] [--metric NAME]
+ *     laser_report compare LEDGER [--bench NAME] [--metrics m1,m2]
+ *                  [--window N] [--iqr-mult X] [--rel-floor F]
+ *                  [--abs-floor S]
+ *     laser_report html LEDGER -o FILE.html
+ *     laser_report inject LEDGER [--bench NAME] [--scale F]
+ *
+ * show prints each bench's gated duration metrics across runs (newest
+ * last). compare gates each bench's most recent run against the median
+ * of up to --window prior runs with an IQR-derived tolerance
+ * (EXPERIMENTS.md "Gate math"):
+ *
+ *     regressed iff candidate > median + max(iqr-mult * IQR,
+ *                                            rel-floor * median,
+ *                                            abs-floor)
+ *
+ * and exits 1 when anything regressed — the CI contract. html renders
+ * a self-contained report (inline SVG sparklines per metric, links to
+ * the Chrome trace-event files recorded under "artifacts"). inject
+ * appends a copy of each selected bench's latest record with every
+ * gated duration multiplied by --scale (default 2.0) — the synthetic
+ * slowdown CI uses to prove the gate actually fires.
+ *
+ * Exit status: 0 ok, 1 regression found (compare only), 2 usage/IO.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/ledger.h"
+#include "util/table.h"
+
+using laser::TablePrinter;
+using laser::fmtDouble;
+using laser::obs::GateConfig;
+using laser::obs::GateResult;
+using laser::obs::Json;
+using laser::obs::LedgerReadResult;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: laser_report show LEDGER [--bench NAME] [--metric NAME]\n"
+        "       laser_report compare LEDGER [--bench NAME]\n"
+        "                    [--metrics m1,m2] [--window N]\n"
+        "                    [--iqr-mult X] [--rel-floor F]\n"
+        "                    [--abs-floor S]\n"
+        "       laser_report html LEDGER -o FILE.html\n"
+        "       laser_report inject LEDGER [--bench NAME] [--scale F]\n");
+    return 2;
+}
+
+/** Records grouped by bench name, preserving ledger (append) order. */
+struct BenchHistory
+{
+    std::string bench;
+    std::vector<const Json *> runs;
+};
+
+std::vector<BenchHistory>
+groupByBench(const std::vector<Json> &records)
+{
+    std::vector<BenchHistory> groups;
+    std::map<std::string, std::size_t> index;
+    for (const Json &record : records) {
+        const Json *bench = record.find("bench");
+        if (!bench || !bench->isString() || bench->asString().empty())
+            continue; // not a BENCH record; ignore foreign lines
+        const std::string &name = bench->asString();
+        auto [it, inserted] = index.emplace(name, groups.size());
+        if (inserted)
+            groups.push_back({name, {}});
+        groups[it->second].runs.push_back(&record);
+    }
+    return groups;
+}
+
+LedgerReadResult
+readLedgerOrDie(const std::string &path)
+{
+    LedgerReadResult ledger = laser::obs::readLedger(path);
+    if (!ledger.ok) {
+        std::fprintf(stderr, "laser_report: %s\n", ledger.error.c_str());
+        std::exit(2);
+    }
+    if (ledger.corruptLines > 0)
+        std::fprintf(stderr,
+                     "laser_report: warning: skipped %zu unparseable "
+                     "ledger line(s)\n",
+                     ledger.corruptLines);
+    return ledger;
+}
+
+std::string
+shortSha(const Json &record)
+{
+    if (const Json *run = record.find("run"))
+        if (const Json *sha = run->find("git_sha"); sha && sha->isString())
+            return sha->asString().substr(0, 7);
+    return "-";
+}
+
+std::string
+runTimestamp(const Json &record)
+{
+    if (const Json *run = record.find("run")) {
+        if (const Json *t = run->find("unix_time"); t && t->isNumber()) {
+            const std::time_t when =
+                static_cast<std::time_t>(t->asNumber());
+            char buf[32];
+            std::tm tm{};
+            if (gmtime_r(&when, &tm) &&
+                std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S", &tm))
+                return buf;
+        }
+    }
+    return "-";
+}
+
+/** Value of one gated metric in a record, NaN when absent. */
+double
+metricValue(const Json &record, const std::string &metric)
+{
+    for (const auto &[name, value] : laser::obs::gatedMetrics(record))
+        if (name == metric)
+            return value;
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+/** Union of gated metric names across @p runs, first-seen order. */
+std::vector<std::string>
+metricNames(const std::vector<const Json *> &runs)
+{
+    std::vector<std::string> names;
+    for (const Json *run : runs)
+        for (const auto &[name, value] : laser::obs::gatedMetrics(*run))
+            if (std::find(names.begin(), names.end(), name) ==
+                names.end())
+                names.push_back(name);
+    return names;
+}
+
+// ---------------------------------------------------------------------
+// show
+// ---------------------------------------------------------------------
+
+int
+cmdShow(const std::string &path, const std::string &benchFilter,
+        const std::string &metricFilter)
+{
+    const LedgerReadResult ledger = readLedgerOrDie(path);
+    const std::vector<BenchHistory> groups =
+        groupByBench(ledger.records);
+    if (groups.empty()) {
+        std::printf("ledger %s holds no bench records\n", path.c_str());
+        return 0;
+    }
+
+    bool printed = false;
+    for (const BenchHistory &group : groups) {
+        if (!benchFilter.empty() && group.bench != benchFilter)
+            continue;
+        std::vector<std::string> metrics = metricNames(group.runs);
+        if (!metricFilter.empty()) {
+            metrics.erase(std::remove_if(metrics.begin(), metrics.end(),
+                                         [&](const std::string &m) {
+                                             return m != metricFilter;
+                                         }),
+                          metrics.end());
+            if (metrics.empty())
+                continue;
+        }
+
+        std::printf("\n%s (%zu run%s)\n", group.bench.c_str(),
+                    group.runs.size(),
+                    group.runs.size() == 1 ? "" : "s");
+        std::vector<std::string> headers = {"run", "utc time", "sha"};
+        headers.insert(headers.end(), metrics.begin(), metrics.end());
+        TablePrinter table(headers);
+        for (std::size_t i = 0; i < group.runs.size(); ++i) {
+            const Json &record = *group.runs[i];
+            std::vector<std::string> row = {std::to_string(i + 1),
+                                            runTimestamp(record),
+                                            shortSha(record)};
+            for (const std::string &metric : metrics) {
+                const double v = metricValue(record, metric);
+                row.push_back(std::isnan(v) ? "-" : fmtDouble(v, 3));
+            }
+            table.addRow(std::move(row));
+        }
+        std::fputs(table.render().c_str(), stdout);
+        printed = true;
+    }
+    if (!printed && !benchFilter.empty()) {
+        std::fprintf(stderr, "laser_report: no records for bench %s\n",
+                     benchFilter.c_str());
+        return 2;
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// compare
+// ---------------------------------------------------------------------
+
+bool
+metricSelected(const std::string &name,
+               const std::vector<std::string> &filter)
+{
+    if (filter.empty())
+        return true;
+    return std::find(filter.begin(), filter.end(), name) != filter.end();
+}
+
+int
+cmdCompare(const std::string &path, const std::string &benchFilter,
+           const std::vector<std::string> &metricFilter,
+           const GateConfig &cfg)
+{
+    const LedgerReadResult ledger = readLedgerOrDie(path);
+    const std::vector<BenchHistory> groups =
+        groupByBench(ledger.records);
+
+    TablePrinter table({"bench", "metric", "n", "median", "iqr",
+                        "limit", "candidate", "verdict"});
+    bool regressed = false;
+    std::size_t compared = 0;
+    for (const BenchHistory &group : groups) {
+        if (!benchFilter.empty() && group.bench != benchFilter)
+            continue;
+        if (group.runs.size() < 2)
+            continue; // nothing to compare against yet
+        const Json &candidate = *group.runs.back();
+        for (const auto &[metric, value] :
+             laser::obs::gatedMetrics(candidate)) {
+            if (!metricSelected(metric, metricFilter))
+                continue;
+            std::vector<double> baseline;
+            for (std::size_t i = 0; i + 1 < group.runs.size(); ++i) {
+                const double v = metricValue(*group.runs[i], metric);
+                if (!std::isnan(v))
+                    baseline.push_back(v);
+            }
+            if (baseline.empty())
+                continue;
+            const GateResult verdict =
+                laser::obs::evaluateGate(baseline, value, cfg);
+            ++compared;
+            regressed |= verdict.regressed;
+            table.addRow({group.bench, metric,
+                          std::to_string(verdict.baselineRuns),
+                          fmtDouble(verdict.baselineMedian, 3),
+                          fmtDouble(verdict.baselineIqr, 3),
+                          fmtDouble(verdict.threshold, 3),
+                          fmtDouble(verdict.candidate, 3),
+                          verdict.regressed ? "REGRESSED" : "ok"});
+        }
+    }
+
+    if (compared == 0) {
+        // A gate that silently has nothing to gate is worse than no
+        // gate; say so loudly but pass (first runs have no baseline).
+        std::fprintf(stderr,
+                     "laser_report: warning: no bench in %s has both a "
+                     "baseline and a candidate run; nothing gated\n",
+                     path.c_str());
+        return 0;
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\ngate: candidate > median + max(%.2f*IQR, "
+                "%.2f*median, %.2fs) over last %zu run(s)\n",
+                cfg.iqrMult, cfg.relFloor, cfg.absFloor, cfg.window);
+    if (regressed) {
+        std::printf("verdict: REGRESSION detected\n");
+        return 1;
+    }
+    std::printf("verdict: all %zu metric(s) within noise\n", compared);
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// html
+// ---------------------------------------------------------------------
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Inline SVG sparkline over @p values (NaN samples are skipped). */
+std::string
+sparkline(const std::vector<double> &values)
+{
+    constexpr double kWidth = 260.0;
+    constexpr double kHeight = 48.0;
+    constexpr double kPad = 4.0;
+
+    std::vector<std::pair<std::size_t, double>> points;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        if (!std::isnan(values[i]))
+            points.emplace_back(i, values[i]);
+    if (points.empty())
+        return "<svg width=\"260\" height=\"48\"></svg>";
+
+    double lo = points.front().second;
+    double hi = lo;
+    for (const auto &[i, v] : points) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    const double denom =
+        values.size() > 1 ? double(values.size() - 1) : 1.0;
+
+    std::string svg = "<svg width=\"260\" height=\"48\" "
+                      "viewBox=\"0 0 260 48\">";
+    std::string poly;
+    for (const auto &[i, v] : points) {
+        const double x =
+            kPad + (kWidth - 2 * kPad) * double(i) / denom;
+        const double y =
+            span > 0.0
+                ? kPad + (kHeight - 2 * kPad) * (1.0 - (v - lo) / span)
+                : kHeight / 2;
+        poly += fmtDouble(x, 1) + "," + fmtDouble(y, 1) + " ";
+    }
+    svg += "<polyline fill=\"none\" stroke=\"#2563eb\" "
+           "stroke-width=\"1.5\" points=\"" +
+           poly + "\"/>";
+    // Emphasize the most recent sample: it is what compare gates.
+    const double lastX =
+        kPad + (kWidth - 2 * kPad) * double(points.back().first) / denom;
+    const double lastY =
+        span > 0.0 ? kPad + (kHeight - 2 * kPad) *
+                                (1.0 - (points.back().second - lo) / span)
+                   : kHeight / 2;
+    svg += "<circle cx=\"" + fmtDouble(lastX, 1) + "\" cy=\"" +
+           fmtDouble(lastY, 1) + "\" r=\"2.5\" fill=\"#dc2626\"/>";
+    svg += "</svg>";
+    return svg;
+}
+
+int
+cmdHtml(const std::string &path, const std::string &outPath)
+{
+    const LedgerReadResult ledger = readLedgerOrDie(path);
+    const std::vector<BenchHistory> groups =
+        groupByBench(ledger.records);
+
+    std::string html =
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+        "<title>LASER bench ledger report</title>\n<style>\n"
+        "body{font:14px/1.5 system-ui,sans-serif;margin:2em;"
+        "color:#111}\n"
+        "h2{border-bottom:1px solid #ddd;padding-bottom:.2em}\n"
+        "table{border-collapse:collapse;margin:.5em 0}\n"
+        "td,th{padding:.25em .8em;text-align:left;"
+        "border-bottom:1px solid #eee}\n"
+        ".num{font-variant-numeric:tabular-nums}\n"
+        ".links a{margin-right:.8em}\n"
+        "</style></head><body>\n"
+        "<h1>LASER bench ledger report</h1>\n"
+        "<p>Ledger: <code>" +
+        htmlEscape(path) + "</code> &middot; " +
+        std::to_string(ledger.records.size()) + " record(s)</p>\n";
+
+    for (const BenchHistory &group : groups) {
+        html += "<h2>" + htmlEscape(group.bench) + "</h2>\n";
+        html += "<table><tr><th>metric</th><th>trend (" +
+                std::to_string(group.runs.size()) +
+                " runs)</th><th>latest</th><th>min</th><th>max</th>"
+                "</tr>\n";
+        for (const std::string &metric : metricNames(group.runs)) {
+            std::vector<double> values;
+            for (const Json *run : group.runs)
+                values.push_back(metricValue(*run, metric));
+            double latest = std::numeric_limits<double>::quiet_NaN();
+            double lo = std::numeric_limits<double>::quiet_NaN();
+            double hi = lo;
+            for (double v : values) {
+                if (std::isnan(v))
+                    continue;
+                latest = v;
+                lo = std::isnan(lo) ? v : std::min(lo, v);
+                hi = std::isnan(hi) ? v : std::max(hi, v);
+            }
+            html += "<tr><td><code>" + htmlEscape(metric) +
+                    "</code></td><td>" + sparkline(values) +
+                    "</td><td class=num>" +
+                    (std::isnan(latest) ? "-" : fmtDouble(latest, 3)) +
+                    "</td><td class=num>" +
+                    (std::isnan(lo) ? "-" : fmtDouble(lo, 3)) +
+                    "</td><td class=num>" +
+                    (std::isnan(hi) ? "-" : fmtDouble(hi, 3)) +
+                    "</td></tr>\n";
+        }
+        html += "</table>\n";
+
+        // Trace-event links from the latest run that recorded any.
+        for (auto it = group.runs.rbegin(); it != group.runs.rend();
+             ++it) {
+            const Json *artifacts = (*it)->find("artifacts");
+            if (!artifacts || !artifacts->isObject())
+                continue;
+            html += "<p class=links>latest artifacts: ";
+            for (const auto &[key, value] : artifacts->members())
+                if (value.isString())
+                    html += "<a href=\"" + htmlEscape(value.asString()) +
+                            "\">" + htmlEscape(key) + "</a>";
+            html += "</p>\n";
+            break;
+        }
+    }
+    html += "</body></html>\n";
+
+    std::ofstream out(outPath, std::ios::binary);
+    if (!out || !(out << html)) {
+        std::fprintf(stderr, "laser_report: cannot write %s\n",
+                     outPath.c_str());
+        return 2;
+    }
+    std::printf("wrote %s (%zu bench group(s))\n", outPath.c_str(),
+                groups.size());
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// inject
+// ---------------------------------------------------------------------
+
+int
+cmdInject(const std::string &path, const std::string &benchFilter,
+          double scale)
+{
+    const LedgerReadResult ledger = readLedgerOrDie(path);
+    const std::vector<BenchHistory> groups =
+        groupByBench(ledger.records);
+
+    std::size_t injected = 0;
+    for (const BenchHistory &group : groups) {
+        if (!benchFilter.empty() && group.bench != benchFilter)
+            continue;
+        Json record = *group.runs.back(); // deep copy of the latest run
+        record.set("injected_scale", Json(scale));
+        if (const Json *wall = record.find("wall_seconds");
+            wall && wall->isNumber())
+            record.set("wall_seconds", Json(wall->asNumber() * scale));
+        if (const Json *run = record.find("run"); run && run->isObject()) {
+            Json scaledRun = *run;
+            if (const Json *cpu = run->find("cpu_seconds");
+                cpu && cpu->isNumber())
+                scaledRun.set("cpu_seconds",
+                              Json(cpu->asNumber() * scale));
+            record.set("run", std::move(scaledRun));
+        }
+        if (const Json *results = record.find("results");
+            results && results->isObject()) {
+            Json scaledResults = *results;
+            for (const auto &[name, value] : results->members()) {
+                static const std::string kSuffix = "_seconds";
+                if (value.isNumber() && name.size() > kSuffix.size() &&
+                    name.compare(name.size() - kSuffix.size(),
+                                 kSuffix.size(), kSuffix) == 0)
+                    scaledResults.set(name,
+                                      Json(value.asNumber() * scale));
+            }
+            record.set("results", std::move(scaledResults));
+        }
+        if (!laser::obs::appendLedgerRecord(path, record)) {
+            std::fprintf(stderr,
+                         "laser_report: failed to append to %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::printf("injected %.2fx run for %s\n", scale,
+                    group.bench.c_str());
+        ++injected;
+    }
+    if (injected == 0) {
+        std::fprintf(stderr, "laser_report: no bench matched\n");
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    std::string benchFilter;
+    std::string metricFilter;
+    std::string outPath;
+    std::vector<std::string> metricsFilter;
+    GateConfig cfg;
+    double scale = 2.0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--bench" && i + 1 < argc) {
+            benchFilter = argv[++i];
+        } else if (arg == "--metric" && i + 1 < argc) {
+            metricFilter = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            std::string list = argv[++i];
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!name.empty())
+                    metricsFilter.push_back(name);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (arg == "--window" && i + 1 < argc) {
+            cfg.window = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--iqr-mult" && i + 1 < argc) {
+            cfg.iqrMult = std::atof(argv[++i]);
+        } else if (arg == "--rel-floor" && i + 1 < argc) {
+            cfg.relFloor = std::atof(argv[++i]);
+        } else if (arg == "--abs-floor" && i + 1 < argc) {
+            cfg.absFloor = std::atof(argv[++i]);
+        } else if (arg == "-o" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else {
+            return usage();
+        }
+    }
+
+    if (cmd == "show")
+        return cmdShow(path, benchFilter, metricFilter);
+    if (cmd == "compare")
+        return cmdCompare(path, benchFilter, metricsFilter, cfg);
+    if (cmd == "html") {
+        if (outPath.empty())
+            return usage();
+        return cmdHtml(path, outPath);
+    }
+    if (cmd == "inject")
+        return cmdInject(path, benchFilter, scale);
+    return usage();
+}

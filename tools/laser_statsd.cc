@@ -1,0 +1,204 @@
+/**
+ * @file
+ * laser_statsd — live metrics service over obs::StatsServer.
+ *
+ *     laser_statsd serve [--addr A] [--port N] [--threads N]
+ *                        [--duration SECONDS]
+ *     laser_statsd push HOST:PORT [SNAPSHOT.json]
+ *     laser_statsd get HOST:PORT PATH
+ *
+ * serve binds HOST:PORT (port 0 = ephemeral, printed on startup) and
+ * serves /metrics, /snapshot.json, /healthz and POST /push from the
+ * process registry until SIGINT/SIGTERM (or --duration elapses).
+ * push POSTs a snapshot file — a METRICS_*.json, or a BENCH_*.json
+ * whose "metrics" member is used — to a running server; sweep clients
+ * use it to aggregate into one scrape target. get fetches one endpoint
+ * and prints the body (debugging, smoke tests).
+ *
+ * Exit status: 0 on success, 1 on HTTP-level failure (non-2xx), 2 on
+ * usage or transport errors.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/server.h"
+
+using laser::obs::HttpResponse;
+using laser::obs::Json;
+using laser::obs::StatsServer;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: laser_statsd serve [--addr A] [--port N] [--threads N]\n"
+        "                          [--duration SECONDS]\n"
+        "       laser_statsd push HOST:PORT [SNAPSHOT.json]\n"
+        "       laser_statsd get HOST:PORT PATH\n");
+    return 2;
+}
+
+/** "HOST:PORT" -> (host, port); false on malformed input. */
+bool
+splitHostPort(const std::string &arg, std::string *host, int *port)
+{
+    const std::size_t colon = arg.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= arg.size())
+        return false;
+    *host = arg.substr(0, colon);
+    *port = std::atoi(arg.c_str() + colon + 1);
+    return *port > 0 && *port < 65536;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    StatsServer::Config cfg;
+    double duration = 0.0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--addr" && i + 1 < argc)
+            cfg.bindAddr = argv[++i];
+        else if (arg == "--port" && i + 1 < argc)
+            cfg.port = std::atoi(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            cfg.threads = std::atoi(argv[++i]);
+        else if (arg == "--duration" && i + 1 < argc)
+            duration = std::atof(argv[++i]);
+        else
+            return usage();
+    }
+
+    StatsServer server(cfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "laser_statsd: %s\n", err.c_str());
+        return 2;
+    }
+    std::printf("laser_statsd: serving on %s:%d\n"
+                "  GET  /metrics        Prometheus text\n"
+                "  GET  /snapshot.json  merged snapshot\n"
+                "  GET  /healthz        liveness\n"
+                "  POST /push           merge a pushed snapshot\n",
+                cfg.bindAddr.c_str(), server.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (duration > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= duration)
+            break;
+    }
+    server.stop();
+    std::printf("laser_statsd: stopped after %llu push(es)\n",
+                static_cast<unsigned long long>(server.pushCount()));
+    return 0;
+}
+
+int
+cmdPush(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string host;
+    int port = 0;
+    if (!splitHostPort(argv[0], &host, &port))
+        return usage();
+
+    std::string body;
+    if (argc >= 2) {
+        std::ifstream in(argv[1], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "laser_statsd: cannot read %s\n",
+                         argv[1]);
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        body = ss.str();
+    } else {
+        // No file: push this process's own (mostly empty) registry —
+        // useful as a liveness/merge smoke probe.
+        body = laser::obs::Registry::global()
+                   .snapshot()
+                   .toJson()
+                   .dump(0);
+    }
+
+    HttpResponse resp;
+    std::string err;
+    if (!laser::obs::httpRequest(host, port, "POST", "/push", body,
+                                 &resp, &err)) {
+        std::fprintf(stderr, "laser_statsd: push failed: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    std::printf("%s", resp.body.c_str());
+    return resp.status == 200 ? 0 : 1;
+}
+
+int
+cmdGet(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string host;
+    int port = 0;
+    if (!splitHostPort(argv[0], &host, &port))
+        return usage();
+
+    HttpResponse resp;
+    std::string err;
+    if (!laser::obs::httpRequest(host, port, "GET", argv[1], "", &resp,
+                                 &err)) {
+        std::fprintf(stderr, "laser_statsd: get failed: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    std::fputs(resp.body.c_str(), stdout);
+    return resp.status == 200 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2);
+    if (cmd == "push")
+        return cmdPush(argc - 2, argv + 2);
+    if (cmd == "get")
+        return cmdGet(argc - 2, argv + 2);
+    return usage();
+}

@@ -44,15 +44,18 @@
  *       Inventory a trace-cache directory / evict least-recently-used
  *       traces until it fits the byte budget.
  *
- *   laser_trace stats [FILE] [--prom]
- *       Dump the process metrics registry snapshot as JSON (or
- *       Prometheus text with --prom). With FILE, load a previously
- *       exported METRICS_<name>.json snapshot and re-emit it instead —
- *       the offline path for converting archived snapshots.
+ *   laser_trace stats [FILE] [--json | --prom]
+ *       Dump the process metrics registry snapshot as JSON (the
+ *       default, or explicitly with --json; Prometheus text with
+ *       --prom). With FILE, load a previously exported
+ *       METRICS_<name>.json snapshot and re-emit it instead — the
+ *       offline path for converting archived snapshots.
  *
- * Every command honors LASER_METRICS_OUT=<dir>: on exit the process
- * registry snapshot (and any collected spans) is exported there as
- * METRICS_laser_trace_<command>.{json,prom}.
+ * Every command honors LASER_METRICS_OUT=<dir>: on exit the invocation
+ * is recorded there as BENCH_laser_trace_<command>.json plus the
+ * METRICS_/TRACE_ artifacts (paths printed after sweep/replay), and
+ * LASER_LEDGER=<file>: the same record is appended to the persistent
+ * run ledger (see obs/ledger.h and tools/laser_report).
  */
 
 #include <chrono>
@@ -71,7 +74,9 @@
 #include "core/sweep_runner.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "trace/cache.h"
 #include "trace/capture.h"
 #include "trace/columnar.h"
@@ -102,7 +107,7 @@ usage()
         "        [--cache-dir DIR] [-j N] [--shards N]\n"
         "  cache ls DIR\n"
         "  cache gc DIR --max-bytes N\n"
-        "  stats [FILE] [--prom]\n");
+        "  stats [FILE] [--json | --prom]\n");
     return 1;
 }
 
@@ -176,13 +181,26 @@ printCacheHitRate(const core::SweepStats &stats)
 {
     if (stats.captures() == 0)
         return;
+    const std::uint64_t writeFailures =
+        obs::Registry::global()
+            .counter("trace.cache.write_failures")
+            .value();
     std::printf("trace cache hit rate: %.1f%% (%llu captures: %llu "
-                "simulated, %llu memory hits, %llu disk hits)\n",
+                "simulated, %llu memory hits, %llu disk hits, %llu "
+                "write failures)\n",
                 1e2 * stats.cacheHitRate(),
                 (unsigned long long)stats.captures(),
                 (unsigned long long)stats.machineRuns,
                 (unsigned long long)stats.memoryCacheHits,
-                (unsigned long long)stats.diskCacheHits);
+                (unsigned long long)stats.diskCacheHits,
+                (unsigned long long)writeFailures);
+    if (writeFailures > 0)
+        std::fprintf(stderr,
+                     "laser_trace: warning: %llu trace-cache write "
+                     "failure(s) — the cache dir is unwritable or full, "
+                     "so repeat runs will re-simulate instead of "
+                     "hitting disk\n",
+                     (unsigned long long)writeFailures);
 }
 
 /** The sweep.* counters mirrored in the global registry, as a struct. */
@@ -866,57 +884,26 @@ cmdMigrate(int argc, char **argv)
     return 0;
 }
 
-/**
- * Rebuild a Snapshot from a METRICS_*.json document (the inverse of
- * Snapshot::toJson, for offline --prom conversion). Returns false on a
- * structurally foreign document.
- */
-bool
-snapshotFromJson(const obs::Json &doc, obs::Snapshot *out)
-{
-    const obs::Json *counters = doc.find("counters");
-    const obs::Json *gauges = doc.find("gauges");
-    const obs::Json *hists = doc.find("histograms");
-    if (!counters || !gauges || !hists || !counters->isObject() ||
-            !gauges->isObject() || !hists->isObject())
-        return false;
-    for (const auto &[name, v] : counters->members())
-        out->counters.emplace_back(
-            name, std::uint64_t(v.asNumber()));
-    for (const auto &[name, v] : gauges->members())
-        out->gauges.emplace_back(name, v.asNumber());
-    for (const auto &[name, v] : hists->members()) {
-        obs::Histogram::Data d;
-        d.count = std::uint64_t(
-            v.find("count") ? v.find("count")->asNumber() : 0);
-        d.sum = v.find("sum") ? v.find("sum")->asNumber() : 0.0;
-        d.min = v.find("min") ? v.find("min")->asNumber() : 0.0;
-        d.max = v.find("max") ? v.find("max")->asNumber() : 0.0;
-        if (const obs::Json *buckets = v.find("buckets")) {
-            for (const obs::Json &pair : buckets->items()) {
-                if (pair.items().size() == 2)
-                    d.buckets.emplace_back(
-                        pair.items()[0].asNumber(),
-                        std::uint64_t(pair.items()[1].asNumber()));
-            }
-        }
-        out->histograms.emplace_back(name, std::move(d));
-    }
-    return true;
-}
-
 int
 cmdStats(int argc, char **argv)
 {
     bool prom = false;
+    bool json = false;
     std::string file;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--prom") == 0)
             prom = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
         else if (argv[i][0] != '-' && file.empty())
             file = argv[i];
         else
             return usage();
+    }
+    if (prom && json) {
+        std::fprintf(stderr,
+                     "laser_trace: --prom and --json are exclusive\n");
+        return usage();
     }
 
     obs::Snapshot snap;
@@ -941,7 +928,7 @@ cmdStats(int argc, char **argv)
         // Accept either a bare snapshot or a BENCH_*.json wrapper.
         const obs::Json *root =
             doc.find("metrics") ? doc.find("metrics") : &doc;
-        if (!snapshotFromJson(*root, &snap)) {
+        if (!obs::Snapshot::fromJson(*root, &snap)) {
             std::fprintf(stderr,
                          "laser_trace: %s is not a metrics snapshot\n",
                          file.c_str());
@@ -949,6 +936,8 @@ cmdStats(int argc, char **argv)
         }
     }
 
+    // JSON is the default; --json requests it explicitly (mirrors
+    // --prom, keeps scripts self-documenting).
     if (prom)
         std::fputs(snap.toPrometheus().c_str(), stdout);
     else
@@ -964,6 +953,16 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd != "record" && cmd != "info" && cmd != "replay" &&
+        cmd != "sweep" && cmd != "cache" && cmd != "migrate" &&
+        cmd != "stats")
+        return usage();
+
+    // Every invocation is one telemetry record: BENCH_laser_trace_<cmd>
+    // under LASER_METRICS_OUT (which also exports the METRICS_/TRACE_
+    // artifacts) and one ledger line under LASER_LEDGER.
+    obs::BenchReport invocation("laser_trace_" + cmd);
+
     int rc = -1;
     if (cmd == "record")
         rc = cmdRecord(argc, argv);
@@ -979,8 +978,40 @@ main(int argc, char **argv)
         rc = cmdMigrate(argc, argv);
     else if (cmd == "stats")
         rc = cmdStats(argc, argv);
-    else
-        return usage();
-    obs::exportProcessMetrics("laser_trace_" + cmd);
+
+    invocation.results().set("command", obs::Json(cmd));
+    invocation.results().set("exit_status", obs::Json(rc));
+    if (cmd == "sweep" || cmd == "replay") {
+        const core::SweepStats stats = registrySweepStats();
+        invocation.setSweep(stats.machineRuns, stats.memoryCacheHits,
+                            stats.diskCacheHits);
+    }
+    const bool wrote = invocation.write();
+
+    // Tell the user where the artifacts went after the heavyweight
+    // commands, so nothing has to be guessed from env vars.
+    if (wrote && (cmd == "sweep" || cmd == "replay")) {
+        const std::string dir = obs::metricsDir();
+        const std::string name = "laser_trace_" + cmd;
+        std::printf("telemetry artifacts (LASER_METRICS_OUT=%s):\n"
+                    "  %s/BENCH_%s.json\n"
+                    "  %s/METRICS_%s.json\n"
+                    "  %s/METRICS_%s.prom\n",
+                    dir.c_str(), dir.c_str(), name.c_str(), dir.c_str(),
+                    name.c_str(), dir.c_str(), name.c_str());
+        if (obs::SpanCollector::global().eventCount() > 0) {
+            const char *traceOverride =
+                std::getenv("LASER_TRACE_EVENTS");
+            if (traceOverride)
+                std::printf("  %s\n", traceOverride);
+            else
+                std::printf("  %s/TRACE_%s.json\n", dir.c_str(),
+                            name.c_str());
+        }
+    }
+    const std::string ledger = obs::ledgerPath();
+    if (!ledger.empty())
+        std::printf("ledger: appended laser_trace_%s run to %s\n",
+                    cmd.c_str(), ledger.c_str());
     return rc;
 }
