@@ -95,6 +95,8 @@ ExperimentRunner::runNative(const workloads::WorkloadDef &w, double scale,
     sim::MachineConfig mc;
     mc.numCores = cfg_.numThreads;
     mc.timing = cfg_.timing;
+    mc.protocol = cfg_.protocol;
+    mc.geometry = cfg_.geometry;
     mc.seed = cfg_.machineSeed;
     sim::Machine machine(std::move(build.program), mc);
     build.applyTo(machine);
@@ -117,6 +119,8 @@ ExperimentRunner::runLaser(const workloads::WorkloadDef &w, double scale,
     sim::MachineConfig mc;
     mc.numCores = cfg_.numThreads;
     mc.timing = cfg_.timing;
+    mc.protocol = cfg_.protocol;
+    mc.geometry = cfg_.geometry;
     mc.seed = cfg_.machineSeed;
     sim::Machine machine(std::move(build.program), mc);
     build.applyTo(machine);
@@ -135,7 +139,8 @@ ExperimentRunner::runLaser(const workloads::WorkloadDef &w, double scale,
     detect::DetectorContext ctx(machine.program(),
                                 machine.addressSpace(),
                                 machine.addressSpace().renderProcMaps(),
-                                cfg_.timing);
+                                cfg_.timing,
+                                static_cast<int>(cfg_.geometry.lineBytes));
     detect::DetectorPipeline pipeline(ctx, cfg_.detector);
     driveAnalysis(monitor.records(), &pipeline, cfg_.captureSink);
     result.detection = pipeline.finish(result.stats.cycles);
@@ -190,6 +195,8 @@ ExperimentRunner::runVTune(const workloads::WorkloadDef &w, double scale)
     sim::MachineConfig mc;
     mc.numCores = cfg_.numThreads;
     mc.timing = cfg_.timing;
+    mc.protocol = cfg_.protocol;
+    mc.geometry = cfg_.geometry;
     mc.seed = cfg_.machineSeed;
     sim::Machine machine(std::move(build.program), mc);
     build.applyTo(machine);
@@ -233,6 +240,8 @@ ExperimentRunner::runSheriff(const workloads::WorkloadDef &w,
     sim::MachineConfig mc;
     mc.numCores = cfg_.numThreads;
     mc.timing = cfg_.timing;
+    mc.protocol = cfg_.protocol;
+    mc.geometry = cfg_.geometry;
     mc.seed = cfg_.machineSeed;
     mc.threadsAsProcesses = true;
     mc.trackDirtyPages = true;

@@ -58,6 +58,10 @@ struct ExperimentConfig
     detect::DetectorConfig detector{};
     repair::RepairConfig repair{};
     sim::TimingModel timing{};
+    /** Coherence backend the simulated machine runs (protocol sweeps). */
+    sim::ProtocolKind protocol = sim::ProtocolKind::Mesi;
+    /** Simulated cache geometry; lineBytes also drives the detector. */
+    sim::CacheGeometry geometry{};
     baselines::VTuneConfig vtune{};
     baselines::SheriffConfig sheriff{};
     int numThreads = 4;

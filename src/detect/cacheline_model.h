@@ -9,6 +9,14 @@
  * the same line (again with a write involved); read-read pairs are not
  * contention. Lines live in a hash table so only the small number of
  * contended lines consume space (Section 4.3).
+ *
+ * The line size is a parameter and must agree with the simulated
+ * machine's CacheGeometry::lineBytes — detector classification and
+ * coherence line indexing disagreeing would silently mistype every
+ * event (the construction sites assert the two match). Degenerate
+ * accesses (size <= 0, e.g. a prefetch or a corrupted record) have an
+ * empty byte footprint and classify as SharingOutcome::None — an empty
+ * footprint can neither truly nor falsely share.
  */
 
 #ifndef LASER_DETECT_CACHELINE_MODEL_H
@@ -21,7 +29,7 @@ namespace laser::detect {
 
 /** Classification of one modeled access against the line's previous one. */
 enum class SharingOutcome : std::uint8_t {
-    None,         ///< first access to the line, or read-read
+    None,         ///< first access, read-read, or empty footprint
     TrueSharing,  ///< overlapping bytes, at least one write
     FalseSharing, ///< disjoint bytes of the same line, at least one write
 };
@@ -30,19 +38,28 @@ enum class SharingOutcome : std::uint8_t {
 class CacheLineModel
 {
   public:
-    static constexpr int kLineBytes = 64;
+    /** Default line size; matches CacheGeometry's default. */
+    static constexpr int kDefaultLineBytes = 64;
+
+    /** @p line_bytes must be a power of two in [8, 128] (the simulated
+     *  geometry's range); lines wider than 64 bytes are tracked at
+     *  2-byte granularity so the footprint still fits a 64-bit mask. */
+    explicit CacheLineModel(int line_bytes = kDefaultLineBytes);
 
     /**
      * Byte footprint of a @p size-byte access at @p addr within its
      * line; accesses that would cross the line boundary are clipped.
+     * Degenerate sizes (<= 0) yield the empty mask.
      */
-    static std::uint64_t byteMask(std::uint64_t addr, int size);
+    static std::uint64_t byteMask(std::uint64_t addr, int size,
+                                  int line_bytes = kDefaultLineBytes);
 
     /**
      * The Figure 5 decision, exposed statically so shard merging can
      * reclassify a shard's first access to a line against the previous
-     * shard's last access: contention needs a write on either side; then
-     * overlapping bytes mean true sharing, disjoint bytes false sharing.
+     * shard's last access: contention needs a write on either side and
+     * a non-empty footprint on both; then overlapping bytes mean true
+     * sharing, disjoint bytes false sharing.
      */
     static SharingOutcome classify(std::uint64_t prev_mask,
                                    bool prev_write, std::uint64_t mask,
@@ -50,9 +67,13 @@ class CacheLineModel
 
     /**
      * Model one access of @p size bytes at @p addr; accesses that would
-     * cross the line boundary are clipped to the line.
+     * cross the line boundary are clipped to the line. Empty-footprint
+     * accesses return None and leave the line's state untouched.
      */
     SharingOutcome access(std::uint64_t addr, int size, bool is_write);
+
+    /** The configured line size in bytes. */
+    int lineBytes() const { return lineBytes_; }
 
     /** Number of lines currently tracked. */
     std::size_t linesTracked() const { return lines_.size(); }
@@ -67,6 +88,7 @@ class CacheLineModel
         bool wasWrite = false;
     };
 
+    int lineBytes_;
     std::unordered_map<std::uint64_t, LastAccess> lines_;
 };
 

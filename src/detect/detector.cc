@@ -53,10 +53,11 @@ reportsIdentical(const DetectionReport &a, const DetectionReport &b)
 
 Detector::Detector(const isa::Program &prog,
                    const mem::AddressSpace &space, std::string maps_text,
-                   const sim::TimingModel &timing, DetectorConfig cfg)
+                   const sim::TimingModel &timing, DetectorConfig cfg,
+                   int line_bytes)
     : ctx_(std::make_unique<DetectorContext>(prog, space,
                                              std::move(maps_text),
-                                             timing)),
+                                             timing, line_bytes)),
       pipeline_(*ctx_, cfg, DetectorPipeline::Mode::Streaming)
 {
 }

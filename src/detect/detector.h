@@ -55,7 +55,8 @@ class Detector
   public:
     Detector(const isa::Program &prog, const mem::AddressSpace &space,
              std::string maps_text, const sim::TimingModel &timing,
-             DetectorConfig cfg = {});
+             DetectorConfig cfg = {},
+             int line_bytes = CacheLineModel::kDefaultLineBytes);
 
     /** Push one record through the pipeline. */
     void processRecord(const pebs::PebsRecord &rec)

@@ -37,12 +37,14 @@ struct PipelineMetrics
 DetectorContext::DetectorContext(const isa::Program &prog,
                                  const mem::AddressSpace &space,
                                  std::string maps_text,
-                                 const sim::TimingModel &timing)
+                                 const sim::TimingModel &timing,
+                                 int line_bytes)
     : prog(prog),
       space(space),
       maps(std::move(maps_text)),
       sets(prog),
-      timing(timing)
+      timing(timing),
+      lineBytes(CacheLineModel(line_bytes).lineBytes())
 {
 }
 
@@ -107,9 +109,10 @@ DetectorPipeline::onRecord(const pebs::PebsRecord &rec)
         // (Section 4.3).
         const bool is_write = mi.isStore;
         const std::uint64_t line =
-            rec.dataAddr / CacheLineModel::kLineBytes;
+            rec.dataAddr / static_cast<std::uint64_t>(ctx_.lineBytes);
         const std::uint64_t mask =
-            CacheLineModel::byteMask(rec.dataAddr, mi.size);
+            CacheLineModel::byteMask(rec.dataAddr, mi.size,
+                                     ctx_.lineBytes);
 
         auto [it, inserted] = state_.lines.try_emplace(line);
         DetectorState::LineState &ls = it->second;

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "analysis/sink.h"
+#include "detect/cacheline_model.h"
 #include "detect/detector_state.h"
 #include "detect/maps_filter.h"
 #include "detect/types.h"
@@ -42,10 +43,18 @@ struct DetectorContext
     MapsFilter maps;
     isa::LoadStoreSets sets;
     sim::TimingModel timing;
+    /**
+     * Cache line size the detector classifies against; must equal the
+     * simulated machine's CacheGeometry::lineBytes or every line index
+     * and byte footprint would silently disagree with the coherence
+     * events being classified (invalid values fall back to the default).
+     */
+    int lineBytes;
 
     DetectorContext(const isa::Program &prog,
                     const mem::AddressSpace &space, std::string maps_text,
-                    const sim::TimingModel &timing);
+                    const sim::TimingModel &timing,
+                    int line_bytes = CacheLineModel::kDefaultLineBytes);
 };
 
 /** One pass of stages 1-6 over (a shard of) a record stream. */

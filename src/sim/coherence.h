@@ -12,6 +12,11 @@
  * by coherence-state transitions, not capacity misses, and the paper's
  * detection pipeline is agnostic to them. The first touch of a line is a
  * memory miss; everything after is classified by MESI state.
+ *
+ * The machine now runs protocol backends behind sim::CoherenceProtocol
+ * (protocol.h); CoherenceDirectory is retained as the fixed pre-refactor
+ * reference implementation that test_protocol fuzzes MesiDirectory
+ * against, outcome for outcome.
  */
 
 #ifndef LASER_SIM_COHERENCE_H

@@ -16,7 +16,7 @@ Machine::Machine(isa::Program prog, MachineConfig cfg)
       space_(prog_, cfg.numCores),
       heap_(mem::Layout::kHeapBase, mem::Layout::kHeapSize),
       globals_(mem::Layout::kGlobalsBase, mem::Layout::kGlobalsSize),
-      dir_(cfg.numCores)
+      proto_(makeProtocol(cfg.protocol, cfg.numCores, cfg.geometry))
 {
     heap_.perturb(cfg.heapPerturbation);
     threads_.reserve(cfg.numCores);
@@ -71,8 +71,15 @@ Machine::memAccess(ThreadCtx &t, std::uint64_t addr, int size,
         return cost;
     }
 
+    // Per-protocol cycle costs: Dragon's dirty intervention and bus
+    // update replace MESI's HITM transfer and S->M upgrade.
+    const bool dragon = cfg_.protocol == ProtocolKind::Dragon;
+    const std::uint32_t hitm_cost = dragon ? tm.dragonHitm : tm.hitm;
+    const std::uint32_t upgrade_cost =
+        dragon ? tm.dragonUpdate : tm.upgrade;
+
     const AccessOutcome outcome =
-        dir_.access(t.tid, addr, is_write, is_load_class);
+        proto_->access(t.tid, addr, is_write, is_load_class);
     switch (outcome) {
       case AccessOutcome::L1Hit:
         ++stats_.l1Hits;
@@ -88,15 +95,15 @@ Machine::memAccess(ThreadCtx &t, std::uint64_t addr, int size,
         break;
       case AccessOutcome::HitmLoad:
         ++stats_.hitmLoads;
-        cost += tm.hitm;
+        cost += hitm_cost;
         break;
       case AccessOutcome::HitmStore:
         ++stats_.hitmStores;
-        cost += tm.hitm;
+        cost += hitm_cost;
         break;
       case AccessOutcome::Upgrade:
         ++stats_.upgrades;
-        cost += tm.upgrade;
+        cost += upgrade_cost;
         break;
       case AccessOutcome::RfoShared:
         ++stats_.rfos;
@@ -159,16 +166,19 @@ Machine::flushSsb(ThreadCtx &t)
     // Coalescing mode: the flush is one hardware transaction — all lines
     // are acquired and all bytes become visible atomically (strong
     // atomicity, Section 5.5), so no illegal reordering is observable.
+    const std::uint64_t line_bytes = proto_->lineBytes();
     std::set<std::uint64_t> lines;
     std::uint64_t min_seq = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t max_seq = 0;
     for (const SsbDrainEntry &e : entries) {
-        lines.insert(e.addr >> 6);
+        lines.insert(proto_->lineOf(e.addr));
         min_seq = std::min(min_seq, e.minSeq);
         max_seq = std::max(max_seq, e.maxSeq);
     }
     for (std::uint64_t line : lines)
-        cost += memAccess(t, line << 6, 64, true, false, false);
+        cost += memAccess(t, line * line_bytes,
+                          static_cast<int>(line_bytes), true, false,
+                          false);
     for (const SsbDrainEntry &e : entries) {
         for (int lane = 0; lane < 8; ++lane) {
             if (e.validMask & (1u << lane))

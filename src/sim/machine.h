@@ -1,7 +1,9 @@
 /**
  * @file
- * The simulated multicore machine: an interpreter for the IR with MESI
- * coherence, a cycle cost model, SSB-aware execution, and PMU callbacks.
+ * The simulated multicore machine: an interpreter for the IR with a
+ * pluggable coherence protocol (MESI directory by default, Dragon via
+ * MachineConfig::protocol), a cycle cost model, SSB-aware execution,
+ * and PMU callbacks.
  *
  * Scheduling is event-driven lowest-clock-first: at every step the
  * runnable thread with the smallest core clock executes one instruction
@@ -16,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -23,8 +26,8 @@
 #include "mem/address_space.h"
 #include "mem/allocator.h"
 #include "mem/memory.h"
-#include "sim/coherence.h"
 #include "sim/hitm.h"
+#include "sim/protocol.h"
 #include "sim/ssb.h"
 #include "sim/timing.h"
 #include "util/rng.h"
@@ -37,6 +40,10 @@ struct MachineConfig
     /** Core (== thread) count; the paper's machine has 4 cores. */
     int numCores = 4;
     TimingModel timing{};
+    /** Coherence backend (protocol sweeps; MESI reproduces the paper). */
+    ProtocolKind protocol = ProtocolKind::Mesi;
+    /** Simulated cache geometry (line size; optional capacity). */
+    CacheGeometry geometry{};
     /**
      * Seed for the per-thread timing jitter. Real machines perturb
      * per-access latency (prefetchers, DRAM refresh, TLB walks); without
@@ -132,7 +139,8 @@ class Machine
     const mem::AddressSpace &addressSpace() const { return space_; }
     const isa::Program &program() const { return prog_; }
     const MachineConfig &config() const { return cfg_; }
-    const CoherenceDirectory &directory() const { return dir_; }
+    /** The coherence backend (MESI directory, Dragon bus, ...). */
+    const CoherenceProtocol &protocol() const { return *proto_; }
 
     /** Install the PMU observer (PEBS / VTune / Sheriff model). */
     void setPmuSink(PmuSink *sink) { sink_ = sink; }
@@ -180,7 +188,7 @@ class Machine
     mem::AddressSpace space_;
     mem::BumpAllocator heap_;
     mem::BumpAllocator globals_;
-    CoherenceDirectory dir_;
+    std::unique_ptr<CoherenceProtocol> proto_;
     std::vector<ThreadCtx> threads_;
     PmuSink *sink_ = nullptr;
     MachineStats stats_;

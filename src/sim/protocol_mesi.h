@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Directory-MESI behind the CoherenceProtocol interface.
+ *
+ * Transition-for-transition identical to the original
+ * CoherenceDirectory (sim/coherence.h) at the default geometry — the
+ * cross-protocol identity test replays every workload and requires a
+ * bit-identical HITM event stream against goldens captured from the
+ * pre-refactor directory. On top of that it adds optional capacity
+ * modeling: with a bounded CacheGeometry each core tracks its resident
+ * lines per set in LRU order, and an overflowing fill silently evicts
+ * the victim (dropping the core from the line's sharer set; an M/E
+ * owner's eviction is a writeback to memory). Eviction latency is not
+ * charged — contention behaviour, not capacity misses, drives the
+ * paper's signal — but the state transitions make re-references misses
+ * again, so geometry sweeps see realistic re-fetch traffic.
+ *
+ * Invariant audit (Illinois clean-sharing rules): the original
+ * directory's checkInvariants verified E/M => exactly one sharer equal
+ * to the owner and never M && E; the audit found no transition
+ * violating those, and added the stricter converse — a line that is
+ * neither M nor E must have no owner (owner == -1) — which all
+ * transitions also maintain. Both protocols' invariants are fuzzed
+ * over random interleavings by the property tests.
+ */
+
+#ifndef LASER_SIM_PROTOCOL_MESI_H
+#define LASER_SIM_PROTOCOL_MESI_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace laser::sim {
+
+/** Directory-based MESI model, one entry per touched line. */
+class MesiDirectory final : public CoherenceProtocol
+{
+  public:
+    /** Per-line directory state (same layout as the pre-refactor
+     *  CoherenceDirectory::LineInfo). */
+    struct LineInfo
+    {
+        std::uint32_t sharers = 0; ///< bitmask of cores with a copy
+        std::int8_t owner = -1;    ///< owning core when modified/exclusive
+        bool modified = false;
+        bool exclusive = false;
+    };
+
+    MesiDirectory(int num_cores, const CacheGeometry &geometry = {});
+
+    ProtocolKind kind() const override { return ProtocolKind::Mesi; }
+
+    AccessOutcome access(int core, std::uint64_t addr, bool is_write,
+                         bool is_load_class) override;
+
+    bool checkInvariants() const override;
+
+    std::size_t linesTouched() const override { return lines_.size(); }
+
+    /** Directory entry for a line address (nullptr if not resident). */
+    const LineInfo *probe(std::uint64_t line_addr) const;
+
+    /** Lines evicted by capacity (0 with unbounded geometry). */
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    /** Touch @p line in @p core's LRU set, evicting on overflow. */
+    void touchLru(int core, std::uint64_t line);
+    void evictLine(int core, std::uint64_t line);
+
+    std::unordered_map<std::uint64_t, LineInfo> lines_;
+    /** Per-core, per-set resident lines, MRU first (bounded geometry
+     *  only; empty when unbounded). */
+    std::vector<std::vector<std::list<std::uint64_t>>> lru_;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace laser::sim
+
+#endif // LASER_SIM_PROTOCOL_MESI_H

@@ -62,6 +62,18 @@ struct TimingModel
     std::uint32_t rfoShared = 60;   ///< I->M with remote sharers/E copy
 
     // ------------------------------------------------------------------
+    // Per-protocol costs (Dragon, update-based). A Dragon dirty
+    // intervention moves a whole line cache-to-cache like MESI's HITM
+    // but skips the invalidate round; a bus update broadcasts one
+    // written word to all sharers (the 4N + (P+1)-style bus occupancy
+    // of classic snooping-protocol cost models, scaled to our cycle
+    // constants). Charged in place of `hitm` / `upgrade` when the
+    // machine runs the Dragon backend.
+    // ------------------------------------------------------------------
+    std::uint32_t dragonHitm = 90;   ///< dirty-intervention transfer
+    std::uint32_t dragonUpdate = 40; ///< bus update broadcast (word)
+
+    // ------------------------------------------------------------------
     // Software store buffer (Section 5.5). These are *software* costs:
     // the SSB is a Pin-injected hash table, so a buffered store is a
     // hash insert (tens of cycles), far cheaper than a HITM transfer but

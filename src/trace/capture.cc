@@ -53,6 +53,8 @@ makeCaptureMeta(const workloads::WorkloadDef &workload,
 
     meta.machine.numCores = opt.numThreads;
     meta.machine.timing = opt.timing;
+    meta.machine.protocol = opt.protocol;
+    meta.machine.geometry = opt.geometry;
     meta.machine.seed = opt.machineSeed;
     meta.machine.heapPerturbation = opt.heapShift;
     if (isSheriffScheme(opt.scheme)) {

@@ -26,6 +26,7 @@
 
 #include "baselines/sheriff.h"
 #include "baselines/vtune.h"
+#include "sim/protocol.h"
 #include "sim/timing.h"
 #include "trace/trace.h"
 #include "workloads/workload.h"
@@ -45,6 +46,10 @@ struct CaptureOptions
     double scale = 1.0;
     bool manualFix = false;
     sim::TimingModel timing{};
+    /** Coherence backend of the simulated machine. */
+    sim::ProtocolKind protocol = sim::ProtocolKind::Mesi;
+    /** Simulated cache geometry (line size; optional capacity). */
+    sim::CacheGeometry geometry{};
     /** Scheme label; selects what the capture records (see file doc). */
     std::string scheme = "laser-detect";
     /** Baseline-model configurations (used by their schemes only). */

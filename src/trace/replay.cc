@@ -47,7 +47,8 @@ TraceReplayer::buildEnvironment()
     space_ = std::make_unique<mem::AddressSpace>(program_,
                                                  meta_->machine.numCores);
     ctx_ = std::make_unique<detect::DetectorContext>(
-        program_, *space_, meta_->mapsText, meta_->machine.timing);
+        program_, *space_, meta_->mapsText, meta_->machine.timing,
+        static_cast<int>(meta_->machine.geometry.lineBytes));
 }
 
 void

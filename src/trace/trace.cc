@@ -131,6 +131,20 @@ putConfig(ByteWriter &w, const TraceMeta &m, std::uint32_t version)
     w.var(s.perDirtyPageCost);
     w.var(s.detectExtraCost);
     w.boolean(s.detectMode);
+
+    if (version < 4)
+        return;
+
+    // v4: coherence protocol + cache geometry + per-protocol costs.
+    // Hashed so trace-cache keys can never collide across protocols or
+    // geometries. The Dragon costs live here, NOT in putTiming: adding
+    // them there would silently change every v1-v3 config hash.
+    w.u8(static_cast<std::uint8_t>(mc.protocol));
+    w.var(mc.geometry.lineBytes);
+    w.var(mc.geometry.sets);
+    w.var(mc.geometry.associativity);
+    w.var(mc.timing.dragonHitm);
+    w.var(mc.timing.dragonUpdate);
 }
 
 bool
@@ -198,6 +212,27 @@ getConfig(ByteReader &r, TraceMeta *m, std::uint32_t version,
     s.perDirtyPageCost = r.var();
     s.detectExtraCost = r.var();
     s.detectMode = r.boolean();
+
+    if (version < 4)
+        return true; // v1-v3 predate protocol/geometry; defaults apply
+
+    const std::uint8_t proto = r.u8();
+    if (r.ok &&
+            proto > static_cast<std::uint8_t>(sim::ProtocolKind::Dragon)) {
+        *err = "invalid coherence protocol " + std::to_string(proto);
+        return false;
+    }
+    mc.protocol = static_cast<sim::ProtocolKind>(proto);
+    mc.geometry.lineBytes = static_cast<std::uint32_t>(r.var());
+    mc.geometry.sets = static_cast<std::uint32_t>(r.var());
+    mc.geometry.associativity = static_cast<std::uint32_t>(r.var());
+    if (r.ok && !mc.geometry.valid()) {
+        *err = "invalid cache line size " +
+               std::to_string(mc.geometry.lineBytes);
+        return false;
+    }
+    mc.timing.dragonHitm = static_cast<std::uint32_t>(r.var());
+    mc.timing.dragonUpdate = static_cast<std::uint32_t>(r.var());
     return true;
 }
 
@@ -307,7 +342,10 @@ wrapPayload(const std::vector<std::uint8_t> &payload_bytes,
     ByteWriter out(out_bytes);
     out_bytes.reserve(kTraceHeaderSize + payload_bytes.size() +
                       kTraceTrailerSize);
-    out_bytes.insert(out_bytes.end(), kTraceMagic, kTraceMagic + 4);
+    // Byte-wise append: GCC 12's stringop-overflow pass misjudges the
+    // range insert of the 4-byte magic array and warns spuriously.
+    for (const char c : kTraceMagic)
+        out_bytes.push_back(static_cast<std::uint8_t>(c));
     out.u32(version);
     out.u32(kTraceEndianMarker);
     out.u64(config_hash);

@@ -24,7 +24,7 @@
  *   28      n     payload
  *   28+n    8     u64 FNV-1a checksum of the payload
  *
- * Format v3 payload (columnar; see trace/columnar.h for the codecs):
+ * Format v4 payload (columnar; see trace/columnar.h for the codecs):
  *
  *   config section     varint/zigzag-encoded capture configuration
  *   results section    machine stats, runtime, /proc maps text
@@ -54,10 +54,13 @@
  * are length-prefixed.
  *
  * Older formats still parse (read-side compatibility; `laser_trace
- * migrate` upgrades files in place): v2 stored records row-wise as
- * interleaved zigzag deltas, v1 additionally lacked the VTune/Sheriff
- * config sections and stored records in driver-delivery order (a v1
- * parse restores canonical order with analysis::sortByCycle). The
+ * migrate` upgrades files in place): v3 lacked the coherence-protocol /
+ * cache-geometry tail of the config section (a v3 parse yields the
+ * default MESI 64-byte-line configuration), v2 stored records row-wise
+ * as interleaved zigzag deltas, v1 additionally lacked the
+ * VTune/Sheriff config sections and stored records in driver-delivery
+ * order (a v1 parse restores canonical order with
+ * analysis::sortByCycle). The
  * config hash is version-scoped — configHashForVersion() reproduces the
  * key an old writer stored — and the write side always emits
  * kTraceVersion.
@@ -87,7 +90,7 @@
 
 namespace laser::trace {
 
-constexpr std::uint32_t kTraceVersion = 3;
+constexpr std::uint32_t kTraceVersion = 4;
 /** Oldest version the read side still parses. */
 constexpr std::uint32_t kTraceMinVersion = 1;
 constexpr char kTraceMagic[4] = {'L', 'S', 'R', 'T'};

@@ -147,6 +147,84 @@ TEST(CacheLineModel, AccessClippedAtLineBoundary)
     EXPECT_EQ(model.access(0x1000, 4, true), SharingOutcome::FalseSharing);
 }
 
+TEST(CacheLineModel, ZeroSizeAccessIsNeverContention)
+{
+    // Regression: a size-0 access used to produce an empty byte mask
+    // that classify() reported as FalseSharing whenever a write was
+    // involved — phantom FS events from degenerate records.
+    CacheLineModel model;
+    model.access(0x1000, 0, true);
+    EXPECT_EQ(model.linesTracked(), 0u); // empty footprint: no state
+    EXPECT_EQ(model.access(0x1008, 4, false), SharingOutcome::None);
+
+    model.clear();
+    model.access(0x1000, 8, true);
+    EXPECT_EQ(model.access(0x1008, 0, true), SharingOutcome::None);
+    EXPECT_EQ(model.access(0x1010, 0, false), SharingOutcome::None);
+}
+
+TEST(CacheLineModel, NegativeSizeAccessIsNeverContention)
+{
+    CacheLineModel model;
+    model.access(0x1000, 8, true);
+    EXPECT_EQ(model.access(0x1008, -4, true), SharingOutcome::None);
+    EXPECT_EQ(CacheLineModel::byteMask(0x1008, -4), 0u);
+}
+
+TEST(CacheLineModel, ClassifyEmptyMaskIsNone)
+{
+    EXPECT_EQ(CacheLineModel::classify(0, true, 0xff, true),
+              SharingOutcome::None);
+    EXPECT_EQ(CacheLineModel::classify(0xff, true, 0, true),
+              SharingOutcome::None);
+    EXPECT_EQ(CacheLineModel::classify(0xff, true, 0xff00, true),
+              SharingOutcome::FalseSharing);
+}
+
+TEST(CacheLineModel, NarrowLinesSeparateNeighbours)
+{
+    // With 32-byte lines, offsets 32 bytes apart are different lines.
+    CacheLineModel model(32);
+    EXPECT_EQ(model.lineBytes(), 32);
+    model.access(0x1000, 8, true);
+    EXPECT_EQ(model.access(0x1020, 8, true), SharingOutcome::None);
+    EXPECT_EQ(model.linesTracked(), 2u);
+    // ... but offsets within the same 32-byte line still contend.
+    EXPECT_EQ(model.access(0x1008, 8, true), SharingOutcome::FalseSharing);
+}
+
+TEST(CacheLineModel, WideLinesJoinNeighbours)
+{
+    // With 128-byte lines, offsets 0 and 96 share a line; the footprint
+    // is tracked at 2-byte granules so disjointness is still seen.
+    CacheLineModel model(128);
+    EXPECT_EQ(model.lineBytes(), 128);
+    model.access(0x1000, 8, true);
+    EXPECT_EQ(model.access(0x1060, 8, true), SharingOutcome::FalseSharing);
+    EXPECT_EQ(model.linesTracked(), 1u);
+    EXPECT_EQ(model.access(0x1060, 8, false), SharingOutcome::TrueSharing);
+}
+
+TEST(CacheLineModel, WideLineMaskGranules)
+{
+    // 128-byte line: bit i covers bytes [2i, 2i+2).
+    EXPECT_EQ(CacheLineModel::byteMask(0x1000, 2, 128), 0x1u);
+    EXPECT_EQ(CacheLineModel::byteMask(0x1000, 4, 128), 0x3u);
+    EXPECT_EQ(CacheLineModel::byteMask(0x1060, 2, 128), 1ull << 48);
+    // A full-line access covers all 64 granule bits.
+    EXPECT_EQ(CacheLineModel::byteMask(0x1000, 128, 128), ~0ull);
+    // Odd offsets round outward to their covering granules.
+    EXPECT_EQ(CacheLineModel::byteMask(0x1001, 2, 128), 0x3u);
+}
+
+TEST(CacheLineModel, InvalidLineBytesFallsBackToDefault)
+{
+    CacheLineModel model(48); // not a power of two
+    EXPECT_EQ(model.lineBytes(), CacheLineModel::kDefaultLineBytes);
+    CacheLineModel huge(4096); // out of the simulated geometry range
+    EXPECT_EQ(huge.lineBytes(), CacheLineModel::kDefaultLineBytes);
+}
+
 // ---------------------------------------------------------------------
 // Detector pipeline
 // ---------------------------------------------------------------------

@@ -198,6 +198,33 @@ TEST(IncludeGuard, FlagsMissingGuardAndAcceptsCanonical)
     EXPECT_TRUE(lintSource("bench/bench_common.h", bench).empty());
 }
 
+TEST(IncludeGuard, CoversProtocolHeaders)
+{
+    // The coherence-protocol headers follow the canonical guard scheme;
+    // a stale guard (say, copied from coherence.h) is flagged with the
+    // expected name.
+    const auto guarded = [](const std::string &guard) {
+        return "#ifndef " + guard + "\n#define " + guard + "\n#endif // " +
+               guard + "\n";
+    };
+    EXPECT_TRUE(lintSource("src/sim/protocol.h",
+                           guarded("LASER_SIM_PROTOCOL_H"))
+                    .empty());
+    EXPECT_TRUE(lintSource("src/sim/protocol_mesi.h",
+                           guarded("LASER_SIM_PROTOCOL_MESI_H"))
+                    .empty());
+    EXPECT_TRUE(lintSource("src/sim/protocol_dragon.h",
+                           guarded("LASER_SIM_PROTOCOL_DRAGON_H"))
+                    .empty());
+
+    const auto findings = lintSource("src/sim/protocol.h",
+                                     guarded("LASER_SIM_COHERENCE_H"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "include-guard");
+    EXPECT_NE(findings[0].message.find("LASER_SIM_PROTOCOL_H"),
+              std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // header-hygiene
 // ---------------------------------------------------------------------

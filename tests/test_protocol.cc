@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Tests for the protocol-pluggable coherence layer (sim/protocol.h):
+ * the cross-protocol identity guarantee (MESI behind the interface must
+ * reproduce the pre-refactor directory's HITM stream bit-for-bit),
+ * outcome equivalence fuzzing against the retained CoherenceDirectory,
+ * Dragon transition semantics, invariant property fuzzing over random
+ * interleavings of both protocols, and cache-geometry behaviour
+ * (line indexing, bounded-MESI eviction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/coherence.h"
+#include "sim/machine.h"
+#include "sim/protocol.h"
+#include "sim/protocol_dragon.h"
+#include "sim/protocol_mesi.h"
+#include "workloads/workload.h"
+
+namespace laser::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cross-protocol identity: goldens captured from the pre-refactor
+// CoherenceDirectory machine
+// ---------------------------------------------------------------------
+
+/**
+ * Order-sensitive FNV-1a digest over every HITM event's full payload.
+ * Field order and the (non-standard, historical) offset basis must not
+ * change: the golden table below was captured with exactly this sink
+ * running against the pre-refactor directory-MESI machine.
+ */
+struct HashingSink final : PmuSink
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    std::uint64_t count = 0;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 1099511628211ULL;
+        }
+    }
+
+    std::uint64_t
+    onHitm(const HitmEvent &e) override
+    {
+        ++count;
+        mix(static_cast<std::uint64_t>(e.core));
+        mix(e.pcIndex);
+        mix(e.vaddr);
+        mix(e.accessSize);
+        mix(e.isLoadUop ? 1 : 0);
+        mix(e.isStore ? 1 : 0);
+        mix(e.cycle);
+        return 0;
+    }
+};
+
+struct Golden
+{
+    const char *workload;
+    std::uint64_t hitmCount;
+    std::uint64_t streamHash;
+};
+
+/**
+ * Per-workload HITM stream digests of the pre-refactor machine: default
+ * BuildOptions, default MachineConfig. If MesiDirectory diverges from
+ * the old CoherenceDirectory by even one event field, the digest moves.
+ */
+constexpr Golden kGoldenHitmStreams[] = {
+    {"barnes", 2868ULL, 0x00f44b0d947a8154ULL},
+    {"blackscholes", 6ULL, 0x80c81a489b85bfbdULL},
+    {"bodytrack", 5837ULL, 0xa202de4ee3385583ULL},
+    {"canneal", 0ULL, 0x14650fb0739d0383ULL},
+    {"dedup", 5518ULL, 0xe9edd9f9a75b78f1ULL},
+    {"facesim", 144ULL, 0x23bdd028195dd4a1ULL},
+    {"ferret", 219ULL, 0xf257d75f385893dcULL},
+    {"fft", 228ULL, 0xdf1961bfa5d52f9aULL},
+    {"fluidanimate", 918ULL, 0x6e0f102c4bba7779ULL},
+    {"fmm", 42ULL, 0x31eb9df2f4151874ULL},
+    {"freqmine", 0ULL, 0x14650fb0739d0383ULL},
+    {"histogram", 0ULL, 0x14650fb0739d0383ULL},
+    {"histogram'", 35195ULL, 0x302a8cb5d1576048ULL},
+    {"kmeans", 7295ULL, 0xb5c8b874ac240152ULL},
+    {"linear_regression", 10582ULL, 0x2039289fe65bb0d8ULL},
+    {"lu_cb", 84ULL, 0x545d83c1bccb9ccbULL},
+    {"lu_ncb", 2835ULL, 0x8caa3de2e54b6c5fULL},
+    {"matrix_multiply", 0ULL, 0x14650fb0739d0383ULL},
+    {"ocean_cp", 54ULL, 0xc4b2555ff5b29589ULL},
+    {"ocean_ncp", 54ULL, 0x62cf3aa521ba2df3ULL},
+    {"pca", 6ULL, 0xecaadc39d151eec2ULL},
+    {"radiosity", 435ULL, 0xceb1089875068fe1ULL},
+    {"radix", 338ULL, 0xf94bdb99a05d184bULL},
+    {"raytrace.parsec", 79ULL, 0x17eecffce0551431ULL},
+    {"raytrace.splash2x", 2542ULL, 0x0fd508490387afabULL},
+    {"reverse_index", 2999ULL, 0x84e89a04286e06f3ULL},
+    {"streamcluster", 8350ULL, 0xac1f05a16569f45aULL},
+    {"string_match", 0ULL, 0x14650fb0739d0383ULL},
+    {"swaptions", 0ULL, 0x14650fb0739d0383ULL},
+    {"vips", 0ULL, 0x14650fb0739d0383ULL},
+    {"volrend", 7823ULL, 0x75fd3959bcb78816ULL},
+    {"water_nsquared", 18499ULL, 0xf9b553fa4dd587b2ULL},
+    {"water_spatial", 1851ULL, 0xfd132b5aeadb3c83ULL},
+    {"word_count", 2199ULL, 0x45af516ad5eeace5ULL},
+    {"x264", 25600ULL, 0x78e79e980c457c3dULL},
+};
+
+TEST(ProtocolIdentity, MesiReproducesPreRefactorHitmStreams)
+{
+    const auto &all = workloads::allWorkloads();
+    ASSERT_EQ(all.size(),
+              sizeof kGoldenHitmStreams / sizeof kGoldenHitmStreams[0]);
+
+    for (const Golden &golden : kGoldenHitmStreams) {
+        const workloads::WorkloadDef *def =
+            workloads::findWorkload(golden.workload);
+        ASSERT_NE(def, nullptr) << golden.workload;
+
+        workloads::WorkloadBuild build = def->build({});
+        Machine machine(std::move(build.program), {});
+        build.applyTo(machine);
+        HashingSink sink;
+        machine.setPmuSink(&sink);
+        const MachineStats stats = machine.run();
+
+        EXPECT_EQ(sink.count, golden.hitmCount) << golden.workload;
+        EXPECT_EQ(sink.hash, golden.streamHash) << golden.workload;
+        EXPECT_EQ(stats.hitmTotal(), golden.hitmCount)
+            << golden.workload;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outcome-equivalence fuzz against the retained CoherenceDirectory
+// ---------------------------------------------------------------------
+
+TEST(ProtocolIdentity, MesiMatchesCoherenceDirectoryOnRandomStreams)
+{
+    for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+        std::mt19937_64 rng(seed);
+        const int cores = 4;
+        CoherenceDirectory reference(cores);
+        MesiDirectory mesi(cores);
+
+        for (int i = 0; i < 20000; ++i) {
+            const int core = static_cast<int>(rng() % cores);
+            // A small address pool concentrates contention so every
+            // transition arm is exercised.
+            const std::uint64_t addr = (rng() % 64) * 8;
+            const bool is_write = (rng() & 1) != 0;
+            const bool is_load_class = !is_write || (rng() & 1) != 0;
+
+            const AccessOutcome expected =
+                reference.access(core, addr, is_write, is_load_class);
+            const AccessOutcome actual =
+                mesi.access(core, addr, is_write, is_load_class);
+            ASSERT_EQ(actual, expected)
+                << "seed " << seed << " step " << i;
+        }
+        EXPECT_TRUE(reference.checkInvariants());
+        EXPECT_TRUE(mesi.checkInvariants());
+        EXPECT_EQ(mesi.linesTouched(), reference.linesTouched());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dragon transition semantics
+// ---------------------------------------------------------------------
+
+TEST(Dragon, DirtyInterventionIsHitmAndKeepsOwnership)
+{
+    DragonBus dragon(4);
+    EXPECT_EQ(dragon.access(0, 0x1000, true, false),
+              AccessOutcome::MemMiss); // first touch installs M
+    // Remote read: the M holder supplies the line (HITM) and keeps it
+    // dirty as Sm — no writeback, unlike MESI.
+    EXPECT_EQ(dragon.access(1, 0x1000, false, true),
+              AccessOutcome::HitmLoad);
+    const DragonBus::LineInfo *li = dragon.probe(dragon.lineOf(0x1000));
+    ASSERT_NE(li, nullptr);
+    EXPECT_EQ(li->owner, 0);
+    EXPECT_EQ(li->sharers, 0b11u);
+    // A second reader is served by the Sm owner again: another HITM.
+    EXPECT_EQ(dragon.access(2, 0x1000, false, true),
+              AccessOutcome::HitmLoad);
+}
+
+TEST(Dragon, WritesUpdateInsteadOfInvalidating)
+{
+    DragonBus dragon(4);
+    dragon.access(0, 0x1000, true, false); // M at core 0
+    dragon.access(1, 0x1000, false, true); // core 1 joins (HITM)
+    // Core 0 writes its shared-dirty copy: bus update, not invalidate.
+    EXPECT_EQ(dragon.access(0, 0x1000, true, false),
+              AccessOutcome::Upgrade);
+    EXPECT_EQ(dragon.busUpdates(), 1u);
+    // Core 1's copy stayed valid: its next read is a plain L1 hit.
+    EXPECT_EQ(dragon.access(1, 0x1000, false, true),
+              AccessOutcome::L1Hit);
+}
+
+TEST(Dragon, SilentCleanExclusiveUpgrade)
+{
+    DragonBus dragon(4);
+    EXPECT_EQ(dragon.access(0, 0x1000, false, true),
+              AccessOutcome::MemMiss); // E
+    // E -> M without any bus traffic.
+    EXPECT_EQ(dragon.access(0, 0x1000, true, false),
+              AccessOutcome::L1Hit);
+    EXPECT_EQ(dragon.busUpdates(), 0u);
+    const DragonBus::LineInfo *li = dragon.probe(dragon.lineOf(0x1000));
+    ASSERT_NE(li, nullptr);
+    EXPECT_EQ(li->owner, 0);
+    // The dirty copy now services a remote miss cache-to-cache.
+    EXPECT_EQ(dragon.access(1, 0x1000, false, true),
+              AccessOutcome::HitmLoad);
+}
+
+TEST(Dragon, FalseSharingPingPongHitmsOnlyOnFirstTouch)
+{
+    // The robustness observation the protocol sweep quantifies: under
+    // MESI a false-sharing write ping-pong HITMs forever; under Dragon
+    // only each core's first touch does — then writes become updates.
+    DragonBus dragon(2);
+    MesiDirectory mesi(2);
+    int dragon_hitms = 0;
+    int mesi_hitms = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int core = 0; core < 2; ++core) {
+            const std::uint64_t addr = 0x1000 + 8 * core;
+            dragon_hitms +=
+                isHitm(dragon.access(core, addr, true, false)) ? 1 : 0;
+            mesi_hitms +=
+                isHitm(mesi.access(core, addr, true, false)) ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(dragon_hitms, 1); // core 1's first write only
+    EXPECT_GT(mesi_hitms, 10);  // every post-first-round write
+    EXPECT_GT(dragon.busUpdates(), 10u);
+}
+
+TEST(Dragon, WriteMissToDirtyLineIsHitmStore)
+{
+    DragonBus dragon(2);
+    dragon.access(0, 0x1000, true, false);
+    // Pure-store write miss to the dirty line: HitmStore (imprecise
+    // PEBS flavour); an RMW (load-class) would be HitmLoad.
+    EXPECT_EQ(dragon.access(1, 0x1000, true, false),
+              AccessOutcome::HitmStore);
+    const DragonBus::LineInfo *li = dragon.probe(dragon.lineOf(0x1000));
+    ASSERT_NE(li, nullptr);
+    EXPECT_EQ(li->owner, 1); // writer took ownership (Sm)
+    EXPECT_EQ(li->sharers, 0b11u);
+}
+
+TEST(Dragon, WriteMissWithCleanCopiesIsRfoShared)
+{
+    DragonBus dragon(4);
+    dragon.access(0, 0x1000, false, true);
+    dragon.access(1, 0x1000, false, true); // two clean sharers
+    EXPECT_EQ(dragon.access(2, 0x1000, true, false),
+              AccessOutcome::RfoShared);
+    // The clean copies stayed valid.
+    EXPECT_EQ(dragon.access(0, 0x1000, false, true),
+              AccessOutcome::L1Hit);
+}
+
+// ---------------------------------------------------------------------
+// Invariant property fuzz over both protocols
+// ---------------------------------------------------------------------
+
+TEST(ProtocolInvariants, HoldUnderRandomInterleavings)
+{
+    for (const ProtocolKind kind :
+         {ProtocolKind::Mesi, ProtocolKind::Dragon}) {
+        for (std::uint64_t seed : {3u, 99u, 2016u}) {
+            std::mt19937_64 rng(seed);
+            const int cores = 4;
+            const auto proto = makeProtocol(kind, cores);
+            for (int i = 0; i < 30000; ++i) {
+                const int core = static_cast<int>(rng() % cores);
+                const std::uint64_t addr = (rng() % 128) * 4;
+                const bool is_write = (rng() & 1) != 0;
+                const bool is_load_class = !is_write || (rng() & 1) != 0;
+                proto->access(core, addr, is_write, is_load_class);
+                if (i % 512 == 0)
+                    ASSERT_TRUE(proto->checkInvariants())
+                        << protocolName(kind) << " seed " << seed
+                        << " step " << i;
+            }
+            EXPECT_TRUE(proto->checkInvariants())
+                << protocolName(kind) << " seed " << seed;
+            EXPECT_GT(proto->linesTouched(), 0u);
+        }
+    }
+}
+
+TEST(ProtocolInvariants, BoundedMesiHoldsUnderRandomInterleavings)
+{
+    CacheGeometry geom;
+    geom.sets = 2;
+    geom.associativity = 2;
+    std::mt19937_64 rng(7);
+    MesiDirectory mesi(4, geom);
+    for (int i = 0; i < 30000; ++i) {
+        const int core = static_cast<int>(rng() % 4);
+        const std::uint64_t addr = (rng() % 128) * 64;
+        const bool is_write = (rng() & 1) != 0;
+        mesi.access(core, addr, is_write, !is_write);
+        if (i % 512 == 0)
+            ASSERT_TRUE(mesi.checkInvariants()) << "step " << i;
+    }
+    EXPECT_TRUE(mesi.checkInvariants());
+    EXPECT_GT(mesi.evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Geometry: line indexing and bounded-MESI eviction
+// ---------------------------------------------------------------------
+
+TEST(Geometry, ValidityBounds)
+{
+    CacheGeometry g;
+    EXPECT_TRUE(g.valid());
+    EXPECT_FALSE(g.bounded());
+    g.lineBytes = 32;
+    EXPECT_TRUE(g.valid());
+    g.lineBytes = 128;
+    EXPECT_TRUE(g.valid());
+    g.lineBytes = 256; // would overflow HitmEvent::accessSize
+    EXPECT_FALSE(g.valid());
+    g.lineBytes = 48;
+    EXPECT_FALSE(g.valid());
+    g.lineBytes = 4;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(Geometry, LineIndexingFollowsLineSize)
+{
+    CacheGeometry narrow;
+    narrow.lineBytes = 32;
+    const auto mesi = makeProtocol(ProtocolKind::Mesi, 4, narrow);
+    EXPECT_EQ(mesi->lineBytes(), 32u);
+    EXPECT_EQ(mesi->lineOf(0x1000), 0x1000u >> 5);
+    EXPECT_NE(mesi->lineOf(0x1000), mesi->lineOf(0x1020));
+
+    CacheGeometry wide;
+    wide.lineBytes = 128;
+    const auto dragon = makeProtocol(ProtocolKind::Dragon, 4, wide);
+    EXPECT_EQ(dragon->lineBytes(), 128u);
+    EXPECT_EQ(dragon->lineOf(0x1000), dragon->lineOf(0x1060));
+    EXPECT_NE(dragon->lineOf(0x1000), dragon->lineOf(0x1080));
+}
+
+TEST(Geometry, InvalidGeometryFallsBackToDefault)
+{
+    CacheGeometry bad;
+    bad.lineBytes = 48;
+    const auto proto = makeProtocol(ProtocolKind::Mesi, 4, bad);
+    EXPECT_EQ(proto->lineBytes(), 64u);
+}
+
+TEST(Geometry, BoundedMesiEvictsLeastRecentlyUsed)
+{
+    CacheGeometry geom;
+    geom.sets = 1;
+    geom.associativity = 2;
+    MesiDirectory mesi(2, geom);
+
+    EXPECT_EQ(mesi.access(0, 0x000, false, true),
+              AccessOutcome::MemMiss);
+    EXPECT_EQ(mesi.access(0, 0x040, false, true),
+              AccessOutcome::MemMiss);
+    EXPECT_EQ(mesi.access(0, 0x000, false, true),
+              AccessOutcome::L1Hit); // 0x000 is now MRU
+    // Third distinct line overflows the 2-way set, evicting LRU 0x040.
+    EXPECT_EQ(mesi.access(0, 0x080, false, true),
+              AccessOutcome::MemMiss);
+    EXPECT_EQ(mesi.evictions(), 1u);
+    // The evicted line is a miss again (re-fetch traffic).
+    EXPECT_EQ(mesi.access(0, 0x040, false, true),
+              AccessOutcome::MemMiss);
+    EXPECT_TRUE(mesi.checkInvariants());
+}
+
+TEST(Geometry, BoundedMesiEvictsDirtyOwner)
+{
+    CacheGeometry geom;
+    geom.sets = 1;
+    geom.associativity = 1;
+    MesiDirectory mesi(2, geom);
+
+    EXPECT_EQ(mesi.access(0, 0x000, true, false),
+              AccessOutcome::MemMiss); // M
+    // Filling a second line evicts the modified line (writeback).
+    EXPECT_EQ(mesi.access(0, 0x040, true, false),
+              AccessOutcome::MemMiss);
+    EXPECT_EQ(mesi.evictions(), 1u);
+    // The written-back line is memory-resident again: no HITM on the
+    // remote re-read, just a miss.
+    EXPECT_EQ(mesi.access(1, 0x000, false, true),
+              AccessOutcome::MemMiss);
+    EXPECT_TRUE(mesi.checkInvariants());
+}
+
+TEST(Geometry, UnboundedMesiNeverEvicts)
+{
+    MesiDirectory mesi(2);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        mesi.access(0, i * 64, false, true);
+    EXPECT_EQ(mesi.evictions(), 0u);
+    EXPECT_EQ(mesi.linesTouched(), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Factory / naming
+// ---------------------------------------------------------------------
+
+TEST(ProtocolFactory, MakesRequestedKind)
+{
+    EXPECT_EQ(makeProtocol(ProtocolKind::Mesi, 4)->kind(),
+              ProtocolKind::Mesi);
+    EXPECT_EQ(makeProtocol(ProtocolKind::Dragon, 4)->kind(),
+              ProtocolKind::Dragon);
+}
+
+TEST(ProtocolFactory, ParsesNames)
+{
+    ProtocolKind kind = ProtocolKind::Mesi;
+    EXPECT_TRUE(parseProtocol("dragon", &kind));
+    EXPECT_EQ(kind, ProtocolKind::Dragon);
+    EXPECT_TRUE(parseProtocol("mesi", &kind));
+    EXPECT_EQ(kind, ProtocolKind::Mesi);
+    kind = ProtocolKind::Dragon;
+    EXPECT_FALSE(parseProtocol("moesi", &kind));
+    EXPECT_EQ(kind, ProtocolKind::Dragon); // left alone on failure
+    EXPECT_STREQ(protocolName(ProtocolKind::Mesi), "mesi");
+    EXPECT_STREQ(protocolName(ProtocolKind::Dragon), "dragon");
+}
+
+// ---------------------------------------------------------------------
+// Machine integration: protocol selection changes the HITM population
+// ---------------------------------------------------------------------
+
+TEST(MachineProtocol, DragonStarvesTheHitmSignal)
+{
+    const workloads::WorkloadDef *def =
+        workloads::findWorkload("histogram'");
+    ASSERT_NE(def, nullptr);
+
+    const auto runWith = [&](ProtocolKind kind) {
+        workloads::WorkloadBuild build = def->build({});
+        MachineConfig mc;
+        mc.protocol = kind;
+        Machine machine(std::move(build.program), mc);
+        build.applyTo(machine);
+        return machine.run();
+    };
+
+    const MachineStats mesi = runWith(ProtocolKind::Mesi);
+    const MachineStats dragon = runWith(ProtocolKind::Dragon);
+    EXPECT_GT(mesi.hitmTotal(), 0u);
+    // The update fabric converts the write ping-pong into bus updates:
+    // the HITM population collapses (the detection-robustness result).
+    EXPECT_LT(dragon.hitmTotal() * 10, mesi.hitmTotal());
+}
+
+} // namespace
+} // namespace laser::sim

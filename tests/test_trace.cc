@@ -245,6 +245,77 @@ TEST(TraceFormat, ConfigHashDependsOnConfigOnly)
     EXPECT_NE(configHash(a.meta), configHash(c.meta));
 }
 
+TEST(TraceFormat, RoundTripsProtocolAndGeometry)
+{
+    // v4 config tail: coherence protocol, cache geometry and the
+    // Dragon-specific costs survive a write/parse cycle.
+    Trace t = syntheticTrace();
+    t.meta.machine.protocol = sim::ProtocolKind::Dragon;
+    t.meta.machine.geometry.lineBytes = 128;
+    t.meta.machine.geometry.sets = 64;
+    t.meta.machine.geometry.associativity = 8;
+    t.meta.machine.timing.dragonHitm = 123;
+    t.meta.machine.timing.dragonUpdate = 45;
+
+    TraceReader reader;
+    ASSERT_EQ(reader.parse(encode(t)), TraceStatus::Ok) << reader.error();
+    const sim::MachineConfig &mc = reader.trace().meta.machine;
+    EXPECT_EQ(mc.protocol, sim::ProtocolKind::Dragon);
+    EXPECT_EQ(mc.geometry.lineBytes, 128u);
+    EXPECT_EQ(mc.geometry.sets, 64u);
+    EXPECT_EQ(mc.geometry.associativity, 8u);
+    EXPECT_EQ(mc.timing.dragonHitm, 123u);
+    EXPECT_EQ(mc.timing.dragonUpdate, 45u);
+}
+
+TEST(TraceFormat, ConfigHashSeparatesProtocolsAndGeometries)
+{
+    // Different coherence fabrics and line sizes must never collide in
+    // the trace cache: each axis has to move the config hash.
+    const Trace base = syntheticTrace();
+    Trace dragon = syntheticTrace();
+    dragon.meta.machine.protocol = sim::ProtocolKind::Dragon;
+    EXPECT_NE(configHash(base.meta), configHash(dragon.meta));
+
+    Trace narrow = syntheticTrace();
+    narrow.meta.machine.geometry.lineBytes = 32;
+    EXPECT_NE(configHash(base.meta), configHash(narrow.meta));
+    EXPECT_NE(configHash(dragon.meta), configHash(narrow.meta));
+
+    Trace bounded = syntheticTrace();
+    bounded.meta.machine.geometry.sets = 64;
+    bounded.meta.machine.geometry.associativity = 8;
+    EXPECT_NE(configHash(base.meta), configHash(bounded.meta));
+
+    Trace costs = syntheticTrace();
+    costs.meta.machine.timing.dragonUpdate += 1;
+    EXPECT_NE(configHash(base.meta), configHash(costs.meta));
+}
+
+TEST(TraceFormat, RejectsUnknownProtocol)
+{
+    // A protocol byte beyond the known enum range is a semantic error,
+    // caught after the checksum passes (the writer encodes it happily).
+    Trace t = syntheticTrace();
+    t.meta.machine.protocol = static_cast<sim::ProtocolKind>(9);
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(encode(t)), TraceStatus::Corrupt);
+    EXPECT_NE(reader.error().find("invalid coherence protocol"),
+              std::string::npos)
+        << reader.error();
+}
+
+TEST(TraceFormat, RejectsInvalidLineSize)
+{
+    Trace t = syntheticTrace();
+    t.meta.machine.geometry.lineBytes = 48; // not a power of two
+    TraceReader reader;
+    EXPECT_EQ(reader.parse(encode(t)), TraceStatus::Corrupt);
+    EXPECT_NE(reader.error().find("invalid cache line size"),
+              std::string::npos)
+        << reader.error();
+}
+
 // ---------------------------------------------------------------------
 // Replay fidelity: record -> replay reproduces the in-process pipeline.
 // ---------------------------------------------------------------------

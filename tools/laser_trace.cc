@@ -4,14 +4,18 @@
  *
  *   laser_trace record <workload> [-o FILE] [--scheme S] [--sav N]
  *                      [--seed N] [--heap-shift N] [--threads N]
- *                      [--scale F]
+ *                      [--scale F] [--protocol P] [--line-bytes N]
  *       Run one simulation under a scheme (laser-detect, vtune,
  *       sheriff-detect, sheriff-protect, native) and persist its
  *       analysis-record stream + run metadata as a trace file.
+ *       --protocol selects the coherence backend (mesi, dragon) and
+ *       --line-bytes the simulated cache-line size; both are part of
+ *       the hashed configuration, so each combination gets its own
+ *       trace-cache key.
  *
  *   laser_trace info FILE
  *       Decode and print a trace's header, configuration and stats.
- *       For v3 (columnar) traces also prints the compression report:
+ *       For v3+ (columnar) traces also prints the compression report:
  *       per-column compressed/uncompressed bytes, which codec each
  *       block chose per column, and block-index/seek statistics.
  *
@@ -24,7 +28,7 @@
  *       --thresholds replays several configurations from one digest
  *       (multi-config single-pass). --cycles replays only the records
  *       in a cycle window, decoding only the blocks that overlap it
- *       (v3 traces; prints how many payload bytes the seek touched).
+ *       (v3+ traces; prints how many payload bytes the seek touched).
  *       VTune and Sheriff traces replay through their own offline
  *       analyzers.
  *
@@ -35,9 +39,12 @@
  *
  *   laser_trace sweep [--workloads a,b,...] [--thresholds t1,t2,...]
  *                     [--cache-dir DIR] [-j N] [--shards N]
+ *                     [--protocol P] [--line-bytes N]
  *       Capture-once/replay-many threshold sweep over the bug database
  *       (Figure 9 style), fanned across cores, optionally backed by an
- *       on-disk trace cache shared between invocations.
+ *       on-disk trace cache shared between invocations. --protocol /
+ *       --line-bytes sweep under a different coherence backend or
+ *       cache geometry.
  *
  *   laser_trace cache ls DIR
  *   laser_trace cache gc DIR --max-bytes N
@@ -77,6 +84,7 @@
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "sim/protocol.h"
 #include "trace/cache.h"
 #include "trace/capture.h"
 #include "trace/columnar.h"
@@ -99,12 +107,14 @@ usage()
         "usage: laser_trace <command> [options]\n"
         "  record <workload> [-o FILE] [--scheme S] [--sav N] [--seed N]\n"
         "                    [--heap-shift N] [--threads N] [--scale F]\n"
+        "                    [--protocol mesi|dragon] [--line-bytes N]\n"
         "  info FILE\n"
         "  replay FILE [--threshold F | --thresholds t1,t2,...]\n"
         "         [--shards N] [--cycles BEGIN:END]\n"
         "  migrate PATH            (trace file, or cache directory)\n"
         "  sweep [--workloads a,b,...] [--thresholds t1,t2,...]\n"
         "        [--cache-dir DIR] [-j N] [--shards N]\n"
+        "        [--protocol mesi|dragon] [--line-bytes N]\n"
         "  cache ls DIR\n"
         "  cache gc DIR --max-bytes N\n"
         "  stats [FILE] [--json | --prom]\n");
@@ -153,6 +163,34 @@ uintArg(const std::string &v, const char *flag)
         std::exit(1);
     }
     return static_cast<std::uint64_t>(d);
+}
+
+/** Apply a --protocol value to @p opt or exit with a clean error. */
+void
+protocolArg(const std::string &v, trace::CaptureOptions *opt)
+{
+    if (!sim::parseProtocol(v, &opt->protocol)) {
+        std::fprintf(stderr,
+                     "laser_trace: unknown protocol \"%s\" (expected "
+                     "mesi or dragon)\n",
+                     v.c_str());
+        std::exit(1);
+    }
+}
+
+/** Apply a --line-bytes value to @p opt or exit with a clean error. */
+void
+lineBytesArg(const std::string &v, trace::CaptureOptions *opt)
+{
+    opt->geometry.lineBytes =
+        static_cast<std::uint32_t>(uintArg(v, "--line-bytes"));
+    if (!opt->geometry.valid()) {
+        std::fprintf(stderr,
+                     "laser_trace: --line-bytes must be a power of two "
+                     "in [8, 128], got \"%s\"\n",
+                     v.c_str());
+        std::exit(1);
+    }
 }
 
 std::vector<std::string>
@@ -290,6 +328,10 @@ cmdRecord(int argc, char **argv)
             opt.numThreads = int(uintArg(v, "--threads"));
         else if (nextArg(argc, argv, &i, "--scale", &v))
             opt.scale = numArg(v, "--scale");
+        else if (nextArg(argc, argv, &i, "--protocol", &v))
+            protocolArg(v, &opt);
+        else if (nextArg(argc, argv, &i, "--line-bytes", &v))
+            lineBytesArg(v, &opt);
         else
             return usage();
     }
@@ -332,6 +374,11 @@ printMetaInfo(const char *path, std::uint32_t version,
                 (unsigned long long)meta.machine.seed,
                 (unsigned long long)meta.build.heapPerturbation,
                 meta.build.scale);
+    std::printf("coherence:     %s, %u-byte lines%s\n",
+                sim::protocolName(meta.machine.protocol),
+                meta.machine.geometry.lineBytes,
+                meta.machine.geometry.bounded() ? " (bounded)"
+                                                : "");
     std::printf("run:           %llu cycles (%.2f represented seconds), "
                 "%llu instructions\n",
                 (unsigned long long)meta.runtimeCycles,
@@ -344,7 +391,7 @@ printMetaInfo(const char *path, std::uint32_t version,
     std::printf("maps text:     %zu bytes\n", meta.mapsText.size());
 }
 
-/** The v3 compression/seek report: per-column bytes + codec mix. */
+/** The v3+ compression/seek report: per-column bytes + codec mix. */
 void
 printColumnarInfo(const trace::TraceFile &file)
 {
@@ -404,7 +451,7 @@ cmdInfo(int argc, char **argv)
     if (argc < 3)
         return usage();
 
-    // v3 files: header + meta + index only (no record decode needed
+    // v3+ files: header + meta + index only (no record decode needed
     // for an inventory view). v1/v2 fall back to the full reader.
     trace::TraceFile file;
     const trace::TraceStatus seek_status = file.open(argv[2]);
@@ -693,6 +740,7 @@ cmdSweep(int argc, char **argv)
     std::vector<double> thresholds = {32,   64,   128,  256,   512,  1000,
                                       2000, 4000, 8000, 16000, 32000, 64000};
     core::SweepRunner::Config rc;
+    trace::CaptureOptions opt;
     int shards = 0;
     std::string v;
     for (int i = 2; i < argc; ++i) {
@@ -708,6 +756,10 @@ cmdSweep(int argc, char **argv)
             rc.numWorkers = int(uintArg(v, "-j"));
         else if (nextArg(argc, argv, &i, "--shards", &v))
             shards = int(uintArg(v, "--shards"));
+        else if (nextArg(argc, argv, &i, "--protocol", &v))
+            protocolArg(v, &opt);
+        else if (nextArg(argc, argv, &i, "--line-bytes", &v))
+            lineBytesArg(v, &opt);
         else
             return usage();
     }
@@ -731,7 +783,7 @@ cmdSweep(int argc, char **argv)
 
     core::SweepRunner runner(rc);
     const core::ThresholdSweepResult sweep =
-        core::thresholdSweep(runner, defs, thresholds, {}, shards);
+        core::thresholdSweep(runner, defs, thresholds, opt, shards);
 
     TablePrinter table(
         {"threshold (HITM/s)", "false negatives", "false positives"});
